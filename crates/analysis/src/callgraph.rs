@@ -1,0 +1,244 @@
+//! Call graph construction, Tarjan SCC, and bottom-up traversal order.
+//!
+//! The interprocedural post-pass CCM allocator (§3.1 of the paper) walks
+//! the call graph bottom-up (callees before callers) and conservatively
+//! marks every routine on a call-graph cycle — i.e., in a nontrivial
+//! strongly connected component — as using the entire CCM.
+
+use std::collections::HashMap;
+
+use iloc::Module;
+
+/// The call graph of a module, over function indices into
+/// [`Module::functions`].
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// `callees[i]` — indices of functions called by function `i`
+    /// (deduplicated). Calls to unknown functions are ignored.
+    pub callees: Vec<Vec<usize>>,
+    /// `callers[i]` — inverse edges.
+    pub callers: Vec<Vec<usize>>,
+    /// Function names, parallel to the module.
+    pub names: Vec<String>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for `m`.
+    pub fn build(m: &Module) -> CallGraph {
+        let index: HashMap<&str, usize> = m.function_indices();
+        let n = m.functions.len();
+        let mut callees = vec![Vec::new(); n];
+        let mut callers = vec![Vec::new(); n];
+        for (i, f) in m.functions.iter().enumerate() {
+            for callee in f.callees() {
+                if let Some(&j) = index.get(callee) {
+                    if !callees[i].contains(&j) {
+                        callees[i].push(j);
+                        callers[j].push(i);
+                    }
+                }
+            }
+        }
+        CallGraph {
+            callees,
+            callers,
+            names: m.functions.iter().map(|f| f.name.clone()).collect(),
+        }
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Computes strongly connected components with Tarjan's algorithm.
+    /// Components are returned in *reverse topological order* (callees'
+    /// components before callers'), which is exactly the bottom-up order
+    /// the interprocedural CCM allocator needs.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        struct State<'a> {
+            g: &'a CallGraph,
+            index: Vec<Option<u32>>,
+            lowlink: Vec<u32>,
+            on_stack: Vec<bool>,
+            stack: Vec<usize>,
+            next: u32,
+            out: Vec<Vec<usize>>,
+        }
+
+        // Iterative Tarjan to avoid deep recursion on long call chains.
+        fn strongconnect(st: &mut State<'_>, v0: usize) {
+            let mut work: Vec<(usize, usize)> = vec![(v0, 0)];
+            while let Some(&mut (v, ref mut ci)) = work.last_mut() {
+                if *ci == 0 {
+                    st.index[v] = Some(st.next);
+                    st.lowlink[v] = st.next;
+                    st.next += 1;
+                    st.stack.push(v);
+                    st.on_stack[v] = true;
+                }
+                if *ci < st.g.callees[v].len() {
+                    let w = st.g.callees[v][*ci];
+                    *ci += 1;
+                    if st.index[w].is_none() {
+                        work.push((w, 0));
+                    } else if st.on_stack[w] {
+                        st.lowlink[v] = st.lowlink[v].min(st.index[w].unwrap());
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        st.lowlink[parent] = st.lowlink[parent].min(st.lowlink[v]);
+                    }
+                    if st.lowlink[v] == st.index[v].unwrap() {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = st.stack.pop().expect("stack nonempty");
+                            st.on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        st.out.push(comp);
+                    }
+                }
+            }
+        }
+
+        let n = self.len();
+        let mut st = State {
+            g: self,
+            index: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next: 0,
+            out: Vec::new(),
+        };
+        for v in 0..n {
+            if st.index[v].is_none() {
+                strongconnect(&mut st, v);
+            }
+        }
+        st.out
+    }
+
+    /// Function indices on a call-graph cycle (nontrivial SCC, or a
+    /// self-recursive function).
+    pub fn recursive_functions(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for comp in self.sccs() {
+            if comp.len() > 1 {
+                out.extend(comp);
+            } else {
+                let v = comp[0];
+                if self.callees[v].contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// A bottom-up processing order: every function appears after all
+    /// functions it (transitively) calls, except within cycles, whose
+    /// members appear in arbitrary relative order.
+    pub fn bottom_up_order(&self) -> Vec<usize> {
+        self.sccs().into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc::builder::FuncBuilder;
+    use iloc::Module;
+
+    fn call_only(name: &str, callees: &[&str]) -> iloc::Function {
+        let mut fb = FuncBuilder::new(name);
+        for c in callees {
+            fb.call(*c, &[], &[]);
+        }
+        fb.ret(&[]);
+        fb.finish()
+    }
+
+    fn module(fns: Vec<iloc::Function>) -> Module {
+        let mut m = Module::new();
+        for f in fns {
+            m.push_function(f);
+        }
+        m
+    }
+
+    #[test]
+    fn simple_chain_bottom_up() {
+        // main → a → b
+        let m = module(vec![
+            call_only("main", &["a"]),
+            call_only("a", &["b"]),
+            call_only("b", &[]),
+        ]);
+        let g = CallGraph::build(&m);
+        let order = g.bottom_up_order();
+        let pos = |n: &str| order.iter().position(|&i| g.names[i] == n).unwrap();
+        assert!(pos("b") < pos("a"));
+        assert!(pos("a") < pos("main"));
+        assert!(g.recursive_functions().is_empty());
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let m = module(vec![
+            call_only("main", &["even"]),
+            call_only("even", &["odd"]),
+            call_only("odd", &["even"]),
+        ]);
+        let g = CallGraph::build(&m);
+        let rec = g.recursive_functions();
+        assert_eq!(rec.len(), 2);
+        let names: Vec<&str> = rec.iter().map(|&i| g.names[i].as_str()).collect();
+        assert!(names.contains(&"even") && names.contains(&"odd"));
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let m = module(vec![call_only("fact", &["fact"])]);
+        let g = CallGraph::build(&m);
+        assert_eq!(g.recursive_functions(), vec![0]);
+    }
+
+    #[test]
+    fn diamond_call_graph_order() {
+        // main → {l, r} → leaf
+        let m = module(vec![
+            call_only("main", &["l", "r"]),
+            call_only("l", &["leaf"]),
+            call_only("r", &["leaf"]),
+            call_only("leaf", &[]),
+        ]);
+        let g = CallGraph::build(&m);
+        let order = g.bottom_up_order();
+        let pos = |n: &str| order.iter().position(|&i| g.names[i] == n).unwrap();
+        assert!(pos("leaf") < pos("l"));
+        assert!(pos("leaf") < pos("r"));
+        assert!(pos("l") < pos("main"));
+        assert!(pos("r") < pos("main"));
+        // Callers table is the inverse of callees.
+        assert_eq!(g.callers[3].len(), 2);
+    }
+
+    #[test]
+    fn duplicate_calls_deduplicated() {
+        let m = module(vec![call_only("main", &["f", "f"]), call_only("f", &[])]);
+        let g = CallGraph::build(&m);
+        assert_eq!(g.callees[0], vec![1]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Def-use chains over a function body.
+
+use std::collections::HashMap;
+
+use iloc::{BlockId, Function, Reg};
+
+/// A location in a function body: block plus instruction index.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstrRef {
+    /// The containing block.
+    pub block: BlockId,
+    /// Index within the block's instruction list.
+    pub index: usize,
+}
+
+/// Definition and use sites of every register in a function.
+#[derive(Clone, Debug, Default)]
+pub struct DefUse {
+    defs: HashMap<Reg, Vec<InstrRef>>,
+    uses: HashMap<Reg, Vec<InstrRef>>,
+}
+
+impl DefUse {
+    /// Builds the chains for `f`.
+    pub fn build(f: &Function) -> DefUse {
+        let mut du = DefUse::default();
+        for b in f.block_ids() {
+            for (i, instr) in f.block(b).instrs.iter().enumerate() {
+                let site = InstrRef { block: b, index: i };
+                instr.op.visit_defs(|r| {
+                    du.defs.entry(r).or_default().push(site);
+                });
+                instr.op.visit_uses(|r| {
+                    du.uses.entry(r).or_default().push(site);
+                });
+            }
+        }
+        du
+    }
+
+    /// Definition sites of `r` (empty slice if none).
+    pub fn defs(&self, r: Reg) -> &[InstrRef] {
+        self.defs.get(&r).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Use sites of `r` (empty slice if none).
+    pub fn uses(&self, r: Reg) -> &[InstrRef] {
+        self.uses.get(&r).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All registers with at least one def or use.
+    pub fn registers(&self) -> impl Iterator<Item = Reg> + '_ {
+        let mut regs: Vec<Reg> = self.defs.keys().chain(self.uses.keys()).copied().collect();
+        regs.sort();
+        regs.dedup();
+        regs.into_iter()
+    }
+
+    /// Whether `r` is completely dead (defined but never used).
+    pub fn is_dead(&self, r: Reg) -> bool {
+        !self.defs(r).is_empty() && self.uses(r).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc::builder::FuncBuilder;
+    use iloc::RegClass;
+
+    #[test]
+    fn chains_record_sites() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(1);
+        let b = fb.add(a, a);
+        fb.ret(&[b]);
+        let f = fb.finish();
+        let du = DefUse::build(&f);
+        assert_eq!(du.defs(a).len(), 1);
+        assert_eq!(du.uses(a).len(), 2); // both operands of the add
+        assert_eq!(du.uses(b).len(), 1); // the ret
+        assert_eq!(du.defs(b)[0].index, 1);
+    }
+
+    #[test]
+    fn dead_detection() {
+        let mut fb = FuncBuilder::new("f");
+        let d = fb.loadi(1);
+        fb.ret(&[]);
+        let f = fb.finish();
+        let du = DefUse::build(&f);
+        assert!(du.is_dead(d));
+    }
+
+    #[test]
+    fn registers_iterates_everything_once() {
+        let mut fb = FuncBuilder::new("f");
+        let a = fb.loadi(1);
+        let b = fb.add(a, a);
+        fb.ret(&[]);
+        let f = fb.finish();
+        let du = DefUse::build(&f);
+        let regs: Vec<Reg> = du.registers().collect();
+        assert_eq!(regs.len(), 2);
+        assert!(regs.contains(&b));
+    }
+}

@@ -1,0 +1,208 @@
+//! Reaching definitions — a forward/union instance of the generic
+//! dataflow framework.
+
+use iloc::{BlockId, Function, Reg};
+
+use crate::bitset::BitSet;
+use crate::dataflow::{solve, DataflowProblem, Direction, Meet};
+
+/// A definition site: the `index`-th instruction of `block` defines `reg`
+/// (a register may be defined by several sites in non-SSA code).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct DefSite {
+    /// The containing block.
+    pub block: BlockId,
+    /// The instruction index within the block.
+    pub index: usize,
+    /// The register defined.
+    pub reg: Reg,
+}
+
+/// Reaching-definitions solution: which definition sites may reach the
+/// top of each block.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    /// All definition sites, in program order; dense ids index this list.
+    pub sites: Vec<DefSite>,
+    /// `reach_in[b]` — site ids that may reach the top of block `b`.
+    pub reach_in: Vec<BitSet>,
+    /// `reach_out[b]` — site ids that may reach the bottom of block `b`.
+    pub reach_out: Vec<BitSet>,
+}
+
+struct Problem<'a> {
+    sites: &'a [DefSite],
+    /// For each block: ids of sites in it, in order.
+    by_block: &'a [Vec<usize>],
+}
+
+impl DataflowProblem for Problem<'_> {
+    fn universe(&self) -> usize {
+        self.sites.len()
+    }
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn meet(&self) -> Meet {
+        Meet::Union
+    }
+    fn gen_set(&self, _f: &Function, b: BlockId) -> BitSet {
+        // Downward-exposed defs: the last def of each register in b.
+        let mut gen = BitSet::new(self.sites.len());
+        let mut last: std::collections::HashMap<Reg, usize> = std::collections::HashMap::new();
+        for &id in &self.by_block[b.index()] {
+            last.insert(self.sites[id].reg, id);
+        }
+        for (_, id) in last {
+            gen.insert(id);
+        }
+        gen
+    }
+    fn kill_set(&self, _f: &Function, b: BlockId) -> BitSet {
+        // Every site (anywhere) defining a register that b redefines.
+        let mut kill = BitSet::new(self.sites.len());
+        let defined: std::collections::HashSet<Reg> = self.by_block[b.index()]
+            .iter()
+            .map(|&id| self.sites[id].reg)
+            .collect();
+        for (id, s) in self.sites.iter().enumerate() {
+            if defined.contains(&s.reg) {
+                kill.insert(id);
+            }
+        }
+        kill
+    }
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `f`.
+    pub fn compute(f: &Function) -> ReachingDefs {
+        let mut sites = Vec::new();
+        for b in f.block_ids() {
+            for (i, instr) in f.block(b).instrs.iter().enumerate() {
+                instr.op.visit_defs(|reg| {
+                    sites.push(DefSite {
+                        block: b,
+                        index: i,
+                        reg,
+                    });
+                });
+            }
+        }
+        let mut by_block = vec![Vec::new(); f.blocks.len()];
+        for (id, s) in sites.iter().enumerate() {
+            by_block[s.block.index()].push(id);
+        }
+        let sol = solve(
+            f,
+            &Problem {
+                sites: &sites,
+                by_block: &by_block,
+            },
+        );
+        ReachingDefs {
+            sites,
+            reach_in: sol.in_,
+            reach_out: sol.out,
+        }
+    }
+
+    /// The definition sites of `reg` that may reach the top of `b`.
+    pub fn reaching(&self, b: BlockId, reg: Reg) -> Vec<DefSite> {
+        self.reach_in[b.index()]
+            .iter()
+            .map(|id| self.sites[id])
+            .filter(|s| s.reg == reg)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc::builder::FuncBuilder;
+    use iloc::{Op, RegClass};
+
+    #[test]
+    fn both_arms_of_a_diamond_reach_the_join() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let x = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 0, dst: x }); // site 0 (killed on both arms)
+        let cond = fb.loadi(1);
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let j = fb.block("j");
+        fb.cbr(cond, t, e);
+        fb.switch_to(t);
+        fb.emit(Op::LoadI { imm: 5, dst: x }); // site for arm t
+        fb.jump(j);
+        fb.switch_to(e);
+        fb.emit(Op::LoadI { imm: 9, dst: x }); // site for arm e
+        fb.jump(j);
+        fb.switch_to(j);
+        fb.ret(&[x]);
+        let f = fb.finish();
+        let rd = ReachingDefs::compute(&f);
+        let reaching = rd.reaching(j, x);
+        assert_eq!(reaching.len(), 2, "both arm defs reach the join: {reaching:?}");
+        assert!(reaching.iter().all(|s| s.block == t || s.block == e));
+    }
+
+    #[test]
+    fn redefinition_kills_upstream_def() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let x = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 1, dst: x });
+        let mid = fb.block("mid");
+        let end = fb.block("end");
+        fb.jump(mid);
+        fb.switch_to(mid);
+        fb.emit(Op::LoadI { imm: 2, dst: x }); // kills the entry def
+        fb.jump(end);
+        fb.switch_to(end);
+        fb.ret(&[x]);
+        let f = fb.finish();
+        let rd = ReachingDefs::compute(&f);
+        let reaching = rd.reaching(end, x);
+        assert_eq!(reaching.len(), 1);
+        assert_eq!(reaching[0].block, mid);
+    }
+
+    #[test]
+    fn loop_defs_reach_their_own_header() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let acc = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 0, dst: acc });
+        fb.counted_loop(0, 4, 1, |fb, iv| {
+            let t = fb.add(acc, iv);
+            fb.emit(Op::I2I { src: t, dst: acc });
+        });
+        fb.ret(&[acc]);
+        let f = fb.finish();
+        let rd = ReachingDefs::compute(&f);
+        let header = iloc::BlockId(1);
+        // Both the entry def and the loop-body def of acc reach the header.
+        assert_eq!(rd.reaching(header, acc).len(), 2);
+    }
+
+    #[test]
+    fn multiple_defs_in_one_block_only_last_escapes() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let x = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 1, dst: x });
+        fb.emit(Op::LoadI { imm: 2, dst: x });
+        let next = fb.block("next");
+        fb.jump(next);
+        fb.switch_to(next);
+        fb.ret(&[x]);
+        let f = fb.finish();
+        let rd = ReachingDefs::compute(&f);
+        let reaching = rd.reaching(next, x);
+        assert_eq!(reaching.len(), 1);
+        assert_eq!(reaching[0].index, 1, "only the second def escapes");
+    }
+}

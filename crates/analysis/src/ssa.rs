@@ -1,0 +1,466 @@
+//! SSA construction and destruction.
+//!
+//! Construction is the classic Cytron-style algorithm with semi-pruned
+//! φ-placement (Briggs): only *global* names — those live across a block
+//! boundary — get φ-nodes, placed on the iterated dominance frontier of
+//! their definition blocks, followed by a renaming walk over the
+//! dominator tree.
+//!
+//! Destruction splits critical edges and lowers each block's φ-set as a
+//! *parallel* copy, sequentialized with a temporary when the copies form a
+//! cycle (the lost-copy and swap problems).
+
+use std::collections::{HashMap, HashSet};
+
+use iloc::{BlockId, Function, Instr, Op, Reg};
+
+use crate::dom::Dominators;
+
+/// Converts `f` to semi-pruned SSA form. Returns the number of φ-nodes
+/// inserted.
+pub fn to_ssa(f: &mut Function) -> usize {
+    let dom = Dominators::compute(f);
+    let df = dom.dominance_frontiers(f);
+
+    // Find global names (used in some block without a prior def in that
+    // block) and the set of blocks defining each name. Physical registers
+    // (e.g. RARP) are never renamed.
+    let mut globals: HashSet<Reg> = HashSet::new();
+    let mut def_blocks: HashMap<Reg, Vec<BlockId>> = HashMap::new();
+    for b in f.block_ids() {
+        let mut killed: HashSet<Reg> = HashSet::new();
+        for instr in &f.block(b).instrs {
+            instr.op.visit_uses(|r| {
+                if r.is_virtual() && !killed.contains(&r) {
+                    globals.insert(r);
+                }
+            });
+            instr.op.visit_defs(|r| {
+                if r.is_virtual() {
+                    killed.insert(r);
+                    def_blocks.entry(r).or_default().push(b);
+                }
+            });
+        }
+    }
+    for p in f.params.clone() {
+        def_blocks.entry(p).or_default().push(f.entry());
+    }
+
+    // Place φ-nodes on the iterated dominance frontier of each global's
+    // definition blocks.
+    let mut phi_count = 0;
+    let preds = f.predecessors();
+    let mut names: Vec<Reg> = globals
+        .iter()
+        .copied()
+        .filter(|r| def_blocks.contains_key(r))
+        .collect();
+    names.sort();
+    for name in names {
+        let mut has_phi: HashSet<BlockId> = HashSet::new();
+        let mut work: Vec<BlockId> = def_blocks[&name].clone();
+        while let Some(d) = work.pop() {
+            for &frontier in &df[d.index()] {
+                if has_phi.insert(frontier) {
+                    let args = preds[frontier.index()]
+                        .iter()
+                        .map(|&p| (p, name))
+                        .collect();
+                    f.block_mut(frontier)
+                        .instrs
+                        .insert(0, Instr::new(Op::Phi { dst: name, args }));
+                    phi_count += 1;
+                    work.push(frontier);
+                }
+            }
+        }
+    }
+
+    // Renaming walk over the dominator tree.
+    let mut stacks: HashMap<Reg, Vec<Reg>> = HashMap::new();
+    // Parameters are defined on entry as themselves.
+    for p in f.params.clone() {
+        stacks.entry(p).or_default().push(p);
+    }
+    rename_block(f, &dom, f.entry(), &mut stacks);
+    f.reset_vreg_counter();
+    phi_count
+}
+
+fn top_of(stacks: &HashMap<Reg, Vec<Reg>>, r: Reg) -> Reg {
+    if !r.is_virtual() {
+        return r;
+    }
+    stacks.get(&r).and_then(|s| s.last()).copied().unwrap_or(r)
+}
+
+fn rename_block(
+    f: &mut Function,
+    dom: &Dominators,
+    b: BlockId,
+    stacks: &mut HashMap<Reg, Vec<Reg>>,
+) {
+    let mut pushed: Vec<Reg> = Vec::new();
+
+    // Rewrite instruction by instruction: uses first (except φ), then defs.
+    let num_instrs = f.block(b).instrs.len();
+    for i in 0..num_instrs {
+        let is_phi = matches!(f.block(b).instrs[i].op, Op::Phi { .. });
+        if !is_phi {
+            let snapshot: HashMap<Reg, Reg> = {
+                let mut m = HashMap::new();
+                f.block(b).instrs[i].op.visit_uses(|r| {
+                    m.insert(r, top_of(stacks, r));
+                });
+                m
+            };
+            f.block_mut(b).instrs[i].op.map_uses(|r| snapshot[&r]);
+        }
+        // New name for each def.
+        let defs: Vec<Reg> = f.block(b).instrs[i]
+            .op
+            .defs()
+            .into_iter()
+            .filter(|r| r.is_virtual())
+            .collect();
+        let mut renames = HashMap::new();
+        for d in defs {
+            let fresh = f.new_vreg(d.class());
+            stacks.entry(d).or_default().push(fresh);
+            pushed.push(d);
+            renames.insert(d, fresh);
+        }
+        f.block_mut(b).instrs[i]
+            .op
+            .map_defs(|r| renames.get(&r).copied().unwrap_or(r));
+    }
+
+    // Fill in φ arguments of successors for the edge b → s.
+    for s in f.successors(b) {
+        let phi_count = f.block(s).phi_count();
+        for i in 0..phi_count {
+            let mut snapshot: Option<Reg> = None;
+            if let Op::Phi { args, .. } = &f.block(s).instrs[i].op {
+                for (pb, r) in args {
+                    if *pb == b {
+                        snapshot = Some(top_of(stacks, *r));
+                    }
+                }
+            }
+            if let Some(new) = snapshot {
+                if let Op::Phi { args, .. } = &mut f.block_mut(s).instrs[i].op {
+                    for (pb, r) in args {
+                        if *pb == b {
+                            *r = new;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Recurse into dominator-tree children.
+    for &c in dom.children(b).to_vec().iter() {
+        rename_block(f, dom, c, stacks);
+    }
+
+    // Pop this block's definitions.
+    for d in pushed {
+        stacks.get_mut(&d).expect("pushed").pop();
+    }
+}
+
+/// Splits every critical edge (from a block with multiple successors to a
+/// block with multiple predecessors), updating φ-nodes. Returns the number
+/// of edges split.
+pub fn split_critical_edges(f: &mut Function) -> usize {
+    let mut split = 0;
+    loop {
+        let preds = f.predecessors();
+        let mut found: Option<(BlockId, BlockId)> = None;
+        'outer: for b in f.block_ids() {
+            let succs = f.successors(b);
+            if succs.len() < 2 {
+                continue;
+            }
+            for s in succs {
+                if preds[s.index()].len() >= 2 {
+                    found = Some((b, s));
+                    break 'outer;
+                }
+            }
+        }
+        let (from, to) = match found {
+            Some(e) => e,
+            None => return split,
+        };
+        let label = format!("split{}_{}_{}", split, from.index(), to.index());
+        let mid = f.add_block(label);
+        f.block_mut(mid)
+            .instrs
+            .push(Instr::new(Op::Jump { target: to }));
+        // Retarget exactly the edges from → to through mid, and φ entries.
+        if let Some(t) = f.block_mut(from).terminator_mut() {
+            t.map_successors(|x| if x == to { mid } else { x });
+        }
+        let phis = f.block(to).phi_count();
+        for i in 0..phis {
+            if let Op::Phi { args, .. } = &mut f.block_mut(to).instrs[i].op {
+                for (pb, _) in args {
+                    if *pb == from {
+                        *pb = mid;
+                    }
+                }
+            }
+        }
+        split += 1;
+    }
+}
+
+/// Converts out of SSA: splits critical edges, lowers φ-sets to parallel
+/// copies in predecessors, and removes the φ-nodes. Returns the number of
+/// copies inserted.
+pub fn from_ssa(f: &mut Function) -> usize {
+    split_critical_edges(f);
+    let mut copies_inserted = 0;
+
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let phi_count = f.block(b).phi_count();
+        if phi_count == 0 {
+            continue;
+        }
+        // Gather the per-predecessor parallel copy sets.
+        let mut per_pred: HashMap<BlockId, Vec<(Reg, Reg)>> = HashMap::new();
+        for i in 0..phi_count {
+            if let Op::Phi { dst, args } = &f.block(b).instrs[i].op {
+                for (p, src) in args {
+                    per_pred.entry(*p).or_default().push((*src, *dst));
+                }
+            }
+        }
+        // Remove the φ-nodes.
+        f.block_mut(b).instrs.drain(0..phi_count);
+
+        // Emit each parallel copy at the end of its predecessor.
+        let mut pred_ids: Vec<BlockId> = per_pred.keys().copied().collect();
+        pred_ids.sort();
+        for p in pred_ids {
+            let seq = sequentialize_parallel_copy(f, per_pred[&p].clone());
+            copies_inserted += seq.len();
+            for (src, dst) in seq {
+                let op = match src.class() {
+                    iloc::RegClass::Gpr => Op::I2I { src, dst },
+                    iloc::RegClass::Fpr => Op::F2F { src, dst },
+                };
+                f.block_mut(p).insert_before_terminator(Instr::new(op));
+            }
+        }
+    }
+    f.reset_vreg_counter();
+    copies_inserted
+}
+
+/// Orders a parallel copy `{(src → dst)}` into a sequential list, breaking
+/// cycles with fresh temporaries.
+fn sequentialize_parallel_copy(f: &mut Function, mut copies: Vec<(Reg, Reg)>) -> Vec<(Reg, Reg)> {
+    // Drop no-ops.
+    copies.retain(|(s, d)| s != d);
+    let mut out = Vec::new();
+    while !copies.is_empty() {
+        // A copy whose destination is not the source of any pending copy
+        // can be emitted safely.
+        if let Some(pos) = copies
+            .iter()
+            .position(|(_, d)| !copies.iter().any(|(s2, _)| s2 == d))
+        {
+            let c = copies.remove(pos);
+            out.push(c);
+        } else {
+            // Every destination is also a pending source: a cycle. Break
+            // it by saving one destination in a temporary.
+            let (_, d) = copies[0];
+            let temp = f.new_vreg(d.class());
+            out.push((d, temp));
+            for (s, _) in copies.iter_mut() {
+                if *s == d {
+                    *s = temp;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks the defining property of strict SSA: every virtual register has
+/// at most one definition. Returns the offending register if violated.
+pub fn check_single_def(f: &Function) -> Result<(), Reg> {
+    let mut seen: HashSet<Reg> = HashSet::new();
+    for b in &f.blocks {
+        for i in &b.instrs {
+            let mut bad = None;
+            i.op.visit_defs(|r| {
+                if r.is_virtual() && !seen.insert(r) {
+                    bad = Some(r);
+                }
+            });
+            if let Some(r) = bad {
+                return Err(r);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc::builder::FuncBuilder;
+    use iloc::{verify_function, RegClass};
+
+    /// entry: x=1; cbr → (a: x=2) / (b: x=3); join: use x.
+    fn diamond_with_merge() -> Function {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let x = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 1, dst: x });
+        let cond = fb.loadi(0);
+        let a = fb.block("a");
+        let b = fb.block("b");
+        let join = fb.block("join");
+        fb.cbr(cond, a, b);
+        fb.switch_to(a);
+        fb.emit(Op::LoadI { imm: 2, dst: x });
+        fb.jump(join);
+        fb.switch_to(b);
+        fb.emit(Op::LoadI { imm: 3, dst: x });
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.ret(&[x]);
+        fb.finish()
+    }
+
+    #[test]
+    fn construction_places_phi_at_join() {
+        let mut f = diamond_with_merge();
+        let phis = to_ssa(&mut f);
+        assert_eq!(phis, 1);
+        verify_function(&f).unwrap();
+        check_single_def(&f).expect("strict SSA");
+        // The φ must be at the head of the join block with two args.
+        let join = BlockId(3);
+        match &f.block(join).instrs[0].op {
+            Op::Phi { args, .. } => assert_eq!(args.len(), 2),
+            other => panic!("expected phi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_gets_phi_at_header() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let acc = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 0, dst: acc });
+        fb.counted_loop(0, 10, 1, |fb, iv| {
+            let t = fb.add(acc, iv);
+            fb.emit(Op::I2I { src: t, dst: acc });
+        });
+        fb.ret(&[acc]);
+        let mut f = fb.finish();
+        let phis = to_ssa(&mut f);
+        // acc and iv both merge at the header.
+        assert!(phis >= 2, "expected ≥2 phis, got {phis}");
+        verify_function(&f).unwrap();
+        check_single_def(&f).expect("strict SSA");
+    }
+
+    #[test]
+    fn round_trip_restores_phi_free_code() {
+        let mut f = diamond_with_merge();
+        to_ssa(&mut f);
+        from_ssa(&mut f);
+        verify_function(&f).unwrap();
+        for b in &f.blocks {
+            for i in &b.instrs {
+                assert!(!matches!(i.op, Op::Phi { .. }), "leftover phi");
+            }
+        }
+    }
+
+    #[test]
+    fn destruction_inserts_copies_on_both_arms() {
+        let mut f = diamond_with_merge();
+        to_ssa(&mut f);
+        let copies = from_ssa(&mut f);
+        assert!(copies >= 2, "expected a copy per arm, got {copies}");
+    }
+
+    #[test]
+    fn critical_edge_splitting_preserves_structure() {
+        // entry cbr → (join, other); other jump → join. The edge
+        // entry→join is critical (entry has 2 succs, join has 2 preds).
+        let mut fb = FuncBuilder::new("f");
+        let cond = fb.loadi(1);
+        let join = fb.block("join");
+        let other = fb.block("other");
+        fb.cbr(cond, join, other);
+        fb.switch_to(other);
+        fb.jump(join);
+        fb.switch_to(join);
+        fb.ret(&[]);
+        let mut f = fb.finish();
+        let n = split_critical_edges(&mut f);
+        assert_eq!(n, 1);
+        verify_function(&f).unwrap();
+        // Entry no longer branches straight to join.
+        assert!(!f.successors(f.entry()).contains(&join));
+    }
+
+    #[test]
+    fn parallel_copy_swap_uses_temp() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(RegClass::Gpr);
+        let b = f.new_vreg(RegClass::Gpr);
+        let seq = sequentialize_parallel_copy(&mut f, vec![(a, b), (b, a)]);
+        // A swap requires three moves via a temporary.
+        assert_eq!(seq.len(), 3);
+        // Simulate the sequence and check the swap semantics.
+        let mut env: HashMap<Reg, i64> = HashMap::new();
+        env.insert(a, 1);
+        env.insert(b, 2);
+        for (s, d) in &seq {
+            let v = env[s];
+            env.insert(*d, v);
+        }
+        assert_eq!(env[&a], 2);
+        assert_eq!(env[&b], 1);
+    }
+
+    #[test]
+    fn parallel_copy_chain_ordering() {
+        let mut f = Function::new("t");
+        let a = f.new_vreg(RegClass::Gpr);
+        let b = f.new_vreg(RegClass::Gpr);
+        let c = f.new_vreg(RegClass::Gpr);
+        // b→c must run before a→b.
+        let seq = sequentialize_parallel_copy(&mut f, vec![(a, b), (b, c)]);
+        assert_eq!(seq, vec![(b, c), (a, b)]);
+    }
+
+    #[test]
+    fn ssa_renaming_keeps_rarp_untouched() {
+        let mut fb = FuncBuilder::new("f");
+        let v = fb.loadai(Reg::RARP, 8);
+        fb.storeai(v, Reg::RARP, 16);
+        fb.ret(&[]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        let mut saw_rarp = 0;
+        f.for_each_reg(|r| {
+            if r == Reg::RARP {
+                saw_rarp += 1;
+            }
+        });
+        assert_eq!(saw_rarp, 2, "RARP must not be renamed");
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion benches regenerating the whole-program figures (3 and 4)
+//! and the §4.3 memory-hierarchy ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{measure, Variant};
+use sim::{CacheConfig, MachineConfig};
+use std::hint::black_box;
+
+const BENCH_PROGRAMS: [&str; 3] = ["turb3d", "fftpackX", "hash"];
+
+/// Figures 3/4: whole-program relative times at one CCM size.
+fn figure(c: &mut Criterion, ccm_size: u32, label: &str) {
+    let mut g = c.benchmark_group(label);
+    g.sample_size(10);
+    // Programs are expensive to link; build once outside the timed body.
+    let programs: Vec<(String, iloc::Module)> = BENCH_PROGRAMS
+        .iter()
+        .map(|n| {
+            let p = suite::program(n).expect("program");
+            (n.to_string(), suite::build_program(&p))
+        })
+        .collect();
+    let machine = MachineConfig::with_ccm(ccm_size);
+    g.bench_function("three_programs_three_methods", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, m) in &programs {
+                let base = measure(m.clone(), Variant::Baseline, &machine);
+                for v in [
+                    Variant::PostPass,
+                    Variant::PostPassCallGraph,
+                    Variant::Integrated,
+                ] {
+                    let r = measure(m.clone(), v, &machine);
+                    acc += r.cycles as f64 / base.cycles as f64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn figure3(c: &mut Criterion) {
+    figure(c, 512, "figure3_512B");
+}
+
+fn figure4(c: &mut Criterion) {
+    figure(c, 1024, "figure4_1024B");
+}
+
+/// §4.3 ablation: spill traffic through a modeled cache vs. the CCM.
+fn ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cache_models");
+    g.sample_size(10);
+    let k = suite::kernel("twldrv").expect("kernel");
+    let m = suite::build_optimized(&k);
+    for (name, cache) in [
+        ("direct_mapped_8k", CacheConfig::small_direct_mapped()),
+        (
+            "two_way_32k",
+            CacheConfig {
+                size: 32 * 1024,
+                assoc: 2,
+                ..CacheConfig::small_direct_mapped()
+            },
+        ),
+    ] {
+        let machine = MachineConfig {
+            cache: Some(cache),
+            ..MachineConfig::with_ccm(512)
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let base = measure(m.clone(), Variant::Baseline, &machine);
+                let ccm = measure(m.clone(), Variant::PostPassCallGraph, &machine);
+                black_box(base.cycles as f64 / ccm.cycles as f64)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, figure3, figure4, ablation);
+criterion_main!(figures);

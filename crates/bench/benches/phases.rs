@@ -1,0 +1,127 @@
+//! Criterion benches for the individual compiler phases — the ablation
+//! over *where time goes* in the pipeline: SSA construction, GVN,
+//! liveness, interference-graph construction, whole-function allocation,
+//! post-pass promotion, and raw simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A mid-size spill-heavy function (the radf5 butterfly routine).
+fn subject() -> iloc::Module {
+    let k = suite::kernel("radf5").expect("kernel");
+    (k.build)()
+}
+
+fn phase_ssa(c: &mut Criterion) {
+    let m = subject();
+    c.bench_function("phase_ssa_construction", |b| {
+        b.iter(|| {
+            let mut f = m.function("pass").expect("routine").clone();
+            black_box(analysis::to_ssa(&mut f))
+        })
+    });
+}
+
+fn phase_gvn(c: &mut Criterion) {
+    let mut m = subject();
+    let f0 = {
+        let f = m.function_mut("pass").expect("routine");
+        analysis::to_ssa(f);
+        f.clone()
+    };
+    c.bench_function("phase_gvn", |b| {
+        b.iter(|| {
+            let mut f = f0.clone();
+            black_box(opt::gvn(&mut f))
+        })
+    });
+}
+
+fn phase_liveness(c: &mut Criterion) {
+    let m = suite::build_optimized(&suite::kernel("radf5").expect("kernel"));
+    let f = m.function("pass").expect("routine").clone();
+    c.bench_function("phase_liveness", |b| {
+        b.iter(|| black_box(analysis::Liveness::compute(&f).live_in.len()))
+    });
+}
+
+fn phase_interference(c: &mut Criterion) {
+    let m = suite::build_optimized(&suite::kernel("radf5").expect("kernel"));
+    let f = m.function("pass").expect("routine").clone();
+    c.bench_function("phase_interference_graph", |b| {
+        b.iter(|| {
+            let idx = regalloc::EntityIndex::build(&f, iloc::RegClass::Fpr);
+            black_box(regalloc::InterferenceGraph::build(&f, idx).len())
+        })
+    });
+}
+
+fn phase_allocation(c: &mut Criterion) {
+    let m = suite::build_optimized(&suite::kernel("radf5").expect("kernel"));
+    let mut g = c.benchmark_group("phase_allocation");
+    g.sample_size(20);
+    g.bench_function("chaitin_briggs_full", |b| {
+        b.iter(|| {
+            let mut m2 = m.clone();
+            black_box(regalloc::allocate_module(
+                &mut m2,
+                &regalloc::AllocConfig::default(),
+            ))
+        })
+    });
+    g.bench_function("integrated_ccm_full", |b| {
+        b.iter(|| {
+            let mut m2 = m.clone();
+            black_box(ccm::allocate_module_integrated(
+                &mut m2,
+                &regalloc::AllocConfig::default(),
+                512,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn phase_postpass(c: &mut Criterion) {
+    let mut m = suite::build_optimized(&suite::kernel("radf5").expect("kernel"));
+    regalloc::allocate_module(&mut m, &regalloc::AllocConfig::default());
+    c.bench_function("phase_postpass_promotion", |b| {
+        b.iter(|| {
+            let mut m2 = m.clone();
+            black_box(ccm::postpass_promote(
+                &mut m2,
+                &ccm::PostpassConfig {
+                    ccm_size: 512,
+                    interprocedural: true,
+                },
+            ))
+        })
+    });
+}
+
+fn phase_simulation(c: &mut Criterion) {
+    let mut m = suite::build_optimized(&suite::kernel("radf5").expect("kernel"));
+    regalloc::allocate_module(&mut m, &regalloc::AllocConfig::default());
+    let mut g = c.benchmark_group("phase_simulation");
+    g.sample_size(20);
+    g.bench_function("interpret_radf5", |b| {
+        b.iter(|| {
+            let (_, metrics) =
+                sim::run_module(&m, sim::MachineConfig::with_ccm(512), "main").expect("runs");
+            black_box(metrics.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    phases,
+    phase_ssa,
+    phase_gvn,
+    phase_liveness,
+    phase_interference,
+    phase_allocation,
+    phase_postpass,
+    phase_simulation
+);
+criterion_main!(phases);

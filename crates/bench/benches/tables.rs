@@ -1,0 +1,89 @@
+//! Criterion benches regenerating the paper's tables.
+//!
+//! Each bench body runs the same pipeline as the corresponding `repro`
+//! experiment over a representative kernel subset (the full-suite runs
+//! live in the `repro` binary; these measure the machinery's cost and
+//! double as regression guards: every iteration re-validates checksums
+//! via the shared `measure` path).
+
+use bench::{run_subset, BENCH_KERNELS};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::Variant;
+use std::hint::black_box;
+
+/// Table 1: allocate + compact the subset, measuring the compaction path.
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("table1_compaction", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for name in BENCH_KERNELS {
+                let k = suite::kernel(name).expect("kernel");
+                let mut m = suite::build_optimized(&k);
+                regalloc::allocate_module(&mut m, &regalloc::AllocConfig::default());
+                ccm::compact_module(&mut m);
+                total += m.functions.iter().map(|f| f.frame.spill_bytes()).sum::<u32>();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+/// Table 2: the four variants at 512 bytes.
+fn table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_512B");
+    g.sample_size(10);
+    for v in Variant::ALL {
+        g.bench_function(v.label(), |b| {
+            b.iter(|| black_box(run_subset(v, 512)))
+        });
+    }
+    g.finish();
+}
+
+/// Table 3: the 1024-byte configuration (compared against 512 offline).
+fn table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_1024B");
+    g.sample_size(10);
+    for v in [Variant::PostPassCallGraph, Variant::Integrated] {
+        g.bench_function(v.label(), |b| {
+            b.iter(|| black_box(run_subset(v, 1024)))
+        });
+    }
+    g.finish();
+}
+
+/// Table 4: the weighted-average computation over fresh measurements.
+fn table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_weighted_average");
+    g.sample_size(10);
+    g.bench_function("subset_rows_and_averages", |b| {
+        b.iter(|| {
+            let machine = sim::MachineConfig::with_ccm(512);
+            let mut rows = Vec::new();
+            for name in BENCH_KERNELS {
+                let k = suite::kernel(name).expect("kernel");
+                let m = suite::build_optimized(&k);
+                let baseline = harness::measure(m.clone(), Variant::Baseline, &machine);
+                let postpass = harness::measure(m.clone(), Variant::PostPass, &machine);
+                let postpass_cg =
+                    harness::measure(m.clone(), Variant::PostPassCallGraph, &machine);
+                let integrated = harness::measure(m, Variant::Integrated, &machine);
+                rows.push(harness::SpeedupRow {
+                    name: name.to_string(),
+                    baseline,
+                    postpass,
+                    postpass_cg,
+                    integrated,
+                });
+            }
+            black_box(harness::table4_from(&rows))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(tables, table1, table2, table3, table4);
+criterion_main!(tables);

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! Compiler-controlled memory (CCM) allocation — the core contribution of
+//! *Compiler-Controlled Memory* (Cooper & Harvey, ASPLOS 1998).
+//!
+//! Register spills are the one class of memory traffic the compiler fully
+//! understands, because it created them. This crate relocates that
+//! traffic into a small on-chip scratchpad in a disjoint address space:
+//!
+//! * [`SlotAnalysis`] — liveness and interference over spill *locations*
+//!   (§3.1's reformulation of dataflow analysis on memory slots);
+//! * [`compact_spill_memory`] — coloring-based spill-memory compaction
+//!   (§4.1, Table 1);
+//! * [`postpass_promote`] — the post-pass CCM allocator, intraprocedural
+//!   and interprocedural (Figure 1);
+//! * [`CcmPlacer`] / [`allocate_module_integrated`] — CCM spilling
+//!   integrated into the Chaitin-Briggs allocator (§3.2, Figure 2).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use iloc::builder::FuncBuilder;
+//! use regalloc::AllocConfig;
+//!
+//! // A function with more simultaneously-live values than registers.
+//! let mut fb = FuncBuilder::new("main");
+//! fb.set_ret_classes(&[iloc::RegClass::Gpr]);
+//! let vals: Vec<_> = (0..12).map(|i| fb.loadi(i)).collect();
+//! let mut acc = vals[11];
+//! for v in vals[..11].iter().rev() {
+//!     acc = fb.add(acc, *v);
+//! }
+//! fb.ret(&[acc]);
+//! let mut m = iloc::Module::new();
+//! m.push_function(fb.finish());
+//!
+//! // Allocate with 4 registers, then promote the spills into a 512-byte
+//! // CCM with the post-pass allocator.
+//! regalloc::allocate_module(&mut m, &AllocConfig::tiny(4));
+//! let stats = ccm::postpass_promote(
+//!     &mut m,
+//!     &ccm::PostpassConfig { ccm_size: 512, interprocedural: true },
+//! );
+//! assert!(stats[0].promoted > 0);
+//! ```
+
+pub mod compact;
+pub mod integrated;
+pub mod postpass;
+pub mod slots;
+
+pub use compact::{compact_module, compact_spill_memory, CompactStats};
+pub use integrated::{
+    allocate_function_integrated, allocate_module_integrated, CcmPlacer, IntegratedStats,
+};
+pub use postpass::{postpass_promote, FnPromotion, PostpassConfig};
+pub use slots::{CallSite, SlotAnalysis};

@@ -1,0 +1,478 @@
+//! The post-pass CCM allocator (§3.1, Figure 1).
+//!
+//! Runs after conventional register allocation, over *allocated* code. It
+//! discovers a subset of the spilled values that can safely and profitably
+//! be relocated to the CCM and redirects their spill instructions there;
+//! anything that does not fit stays in main memory as a heavyweight
+//! spill. The allocator never generates new spills.
+//!
+//! Two interprocedural conventions, both from the paper:
+//!
+//! * **intraprocedural** — only slots not live across *any* call are
+//!   promoted, so a routine's CCM contents can never be clobbered by a
+//!   callee;
+//! * **interprocedural** — a bottom-up walk of the call graph records each
+//!   routine's CCM high-water mark; a caller may place a slot that is live
+//!   across a call to `q` only above `q`'s mark. Routines on call-graph
+//!   cycles are conservatively marked as using the entire CCM.
+
+use std::collections::HashMap;
+
+use analysis::CallGraph;
+use iloc::{Function, Module, Op, SlotId, SpillKind, SpillSlot};
+
+use crate::slots::SlotAnalysis;
+
+/// Configuration for the post-pass allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct PostpassConfig {
+    /// CCM capacity in bytes (512 or 1024 in the paper's evaluation).
+    pub ccm_size: u32,
+    /// Whether call-graph information may be used (the paper's "post-pass
+    /// w/ call graph" column). Without it the conservative intraprocedural
+    /// strategy applies.
+    pub interprocedural: bool,
+}
+
+/// Per-function promotion results.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnPromotion {
+    /// Function name.
+    pub name: String,
+    /// Spill slots promoted into the CCM.
+    pub promoted: usize,
+    /// Spill slots left in main memory (heavyweight spills).
+    pub heavyweight: usize,
+    /// This routine's CCM high-water mark in bytes, *including* its
+    /// callees' transitive usage.
+    pub high_water: u32,
+}
+
+/// Runs the post-pass CCM allocator over the whole module. Code must
+/// already be register-allocated (spill instructions tagged).
+pub fn postpass_promote(m: &mut Module, cfg: &PostpassConfig) -> Vec<FnPromotion> {
+    let cg = CallGraph::build(m);
+    let recursive: Vec<usize> = cg.recursive_functions();
+    let mut high_water: Vec<u32> = vec![0; m.functions.len()];
+    for &r in &recursive {
+        // Conservative: a routine on a cycle is assumed to use all of CCM.
+        high_water[r] = cfg.ccm_size;
+    }
+    let name_to_idx: HashMap<String, usize> = m
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i))
+        .collect();
+
+    let order = if cfg.interprocedural {
+        cg.bottom_up_order()
+    } else {
+        (0..m.functions.len()).collect()
+    };
+
+    let mut out: Vec<Option<FnPromotion>> = vec![None; m.functions.len()];
+    for fi in order {
+        let is_recursive = recursive.contains(&fi);
+        let f = &mut m.functions[fi];
+        let stats = promote_function(f, cfg, |callee| {
+            if !cfg.interprocedural {
+                // No call-graph info: any call-crossing slot is ineligible.
+                return cfg.ccm_size;
+            }
+            name_to_idx
+                .get(callee)
+                .map(|&ci| high_water[ci])
+                .unwrap_or(cfg.ccm_size)
+        });
+        // Transitive high-water: own usage plus everything callees use.
+        let mut hw = stats.high_water;
+        if cfg.interprocedural {
+            for &ci in &cg.callees[fi] {
+                hw = hw.max(high_water[ci]);
+            }
+        }
+        if is_recursive {
+            hw = cfg.ccm_size;
+        }
+        high_water[fi] = hw;
+        out[fi] = Some(FnPromotion {
+            high_water: hw,
+            ..stats
+        });
+    }
+    out.into_iter().map(|o| o.expect("all visited")).collect()
+}
+
+/// Promotes one function's slots. `callee_high_water` maps a callee name
+/// to the lowest CCM offset a slot live across that call may use.
+fn promote_function(
+    f: &mut Function,
+    cfg: &PostpassConfig,
+    callee_high_water: impl Fn(&str) -> u32,
+) -> FnPromotion {
+    let analysis = SlotAnalysis::compute(f);
+    let mut placements: Vec<Option<(u32, u32)>> = vec![None; analysis.n];
+    let mut promoted = 0;
+    let mut heavyweight = 0;
+    let mut high_water = 0u32;
+
+    // Per-slot base offset: the maximum high-water mark over the call
+    // sites the slot is live across ("the 'beginning' of this search space
+    // is the maximum of the CCM usage in the set of subroutines across
+    // which the spilled value is live").
+    let mut base = vec![0u32; analysis.n];
+    for cs in &analysis.call_sites {
+        let hw = callee_high_water(&cs.callee);
+        for &s in &cs.live_slots {
+            base[s] = base[s].max(hw);
+        }
+    }
+
+    for slot_id in analysis.by_descending_cost() {
+        let si = slot_id.index();
+        let slot = *f.frame.slot(slot_id);
+        if slot.in_ccm || analysis.refs[si] == 0 {
+            continue;
+        }
+        let size = slot.size();
+        // Successive-location search from the slot's base.
+        let mut off = align_up(base[si], size);
+        let found = loop {
+            if off + size > cfg.ccm_size {
+                break None;
+            }
+            let candidate = (off, size);
+            let clash = analysis.adj[si].iter().any(|&other| {
+                placements[other]
+                    .map(|p| overlaps(candidate, p))
+                    .unwrap_or(false)
+            });
+            if !clash {
+                break Some(off);
+            }
+            off = align_up(off + 1, size);
+        };
+        match found {
+            Some(ccm_off) => {
+                placements[si] = Some((ccm_off, size));
+                promoted += 1;
+                high_water = high_water.max(ccm_off + size);
+            }
+            None => heavyweight += 1,
+        }
+    }
+
+    // Rewrite the promoted slots and their spill instructions.
+    for (si, p) in placements.iter().enumerate() {
+        let Some((ccm_off, _)) = p else { continue };
+        let slot = f.frame.slot_mut(SlotId(si as u32));
+        *slot = SpillSlot {
+            offset: *ccm_off,
+            class: slot.class,
+            in_ccm: true,
+        };
+    }
+    for b in f.block_ids().collect::<Vec<_>>() {
+        for i in 0..f.block(b).instrs.len() {
+            let instr = &f.block(b).instrs[i];
+            let slot_id = match instr.spill {
+                SpillKind::Store(s) | SpillKind::Restore(s) => s,
+                SpillKind::None => continue,
+            };
+            if placements[slot_id.index()].is_none() {
+                continue;
+            }
+            let ccm_off = f.frame.slot(slot_id).offset;
+            let new_op = match &f.block(b).instrs[i].op {
+                Op::StoreAI { val, .. } => Op::CcmStore {
+                    val: *val,
+                    off: ccm_off,
+                },
+                Op::LoadAI { dst, .. } => Op::CcmLoad {
+                    off: ccm_off,
+                    dst: *dst,
+                },
+                Op::FStoreAI { val, .. } => Op::CcmFStore {
+                    val: *val,
+                    off: ccm_off,
+                },
+                Op::FLoadAI { dst, .. } => Op::CcmFLoad {
+                    off: ccm_off,
+                    dst: *dst,
+                },
+                other => other.clone(), // already CCM (repeat runs)
+            };
+            f.block_mut(b).instrs[i].op = new_op;
+        }
+    }
+
+    FnPromotion {
+        name: f.name.clone(),
+        promoted,
+        heavyweight,
+        high_water,
+    }
+}
+
+fn align_up(x: u32, align: u32) -> u32 {
+    (x + align - 1) & !(align - 1)
+}
+
+fn overlaps(a: (u32, u32), b: (u32, u32)) -> bool {
+    a.0 < b.0 + b.1 && b.0 < a.0 + a.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc::builder::FuncBuilder;
+    use iloc::RegClass;
+    use regalloc::{allocate_module, AllocConfig};
+
+    /// Builds a module whose single function spills under a tiny register
+    /// budget, then allocates it.
+    fn spilled_leaf_module(width: usize, k: u32) -> Module {
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let vals: Vec<_> = (0..width).map(|i| fb.loadi(i as i64)).collect();
+        let mut acc = vals[width - 1];
+        for v in vals[..width - 1].iter().rev() {
+            acc = fb.add(acc, *v);
+        }
+        fb.ret(&[acc]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        allocate_module(&mut m, &AllocConfig::tiny(k));
+        m
+    }
+
+    #[test]
+    fn leaf_spills_promote_fully_with_ample_ccm() {
+        let mut m = spilled_leaf_module(12, 4);
+        let slots_before = m.functions[0].frame.slots.len();
+        assert!(slots_before > 0, "setup must spill");
+        let stats = postpass_promote(
+            &mut m,
+            &PostpassConfig {
+                ccm_size: 512,
+                interprocedural: false,
+            },
+        );
+        assert_eq!(stats[0].promoted, slots_before);
+        assert_eq!(stats[0].heavyweight, 0);
+        assert!(stats[0].high_water > 0);
+        // All spill instructions became CCM ops.
+        for b in &m.functions[0].blocks {
+            for i in &b.instrs {
+                if i.spill != SpillKind::None {
+                    assert!(i.op.is_ccm_op(), "leftover main-memory spill: {:?}", i.op);
+                }
+            }
+        }
+        m.verify().unwrap();
+    }
+
+    #[test]
+    fn promotion_preserves_results_and_saves_cycles() {
+        let mut m = spilled_leaf_module(14, 4);
+        let (v0, m0) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
+        postpass_promote(
+            &mut m,
+            &PostpassConfig {
+                ccm_size: 512,
+                interprocedural: false,
+            },
+        );
+        let (v1, m1) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
+        assert_eq!(v0, v1, "promotion must not change results");
+        assert!(m1.cycles < m0.cycles, "CCM spills must be cheaper");
+        assert!(m1.ccm_ops > 0);
+        assert_eq!(m1.instrs, m0.instrs, "post-pass adds no instructions");
+    }
+
+    #[test]
+    fn tiny_ccm_leaves_heavyweight_spills() {
+        let mut m = spilled_leaf_module(40, 3);
+        let stats = postpass_promote(
+            &mut m,
+            &PostpassConfig {
+                ccm_size: 8, // room for just two 4-byte slots
+                interprocedural: false,
+            },
+        );
+        assert!(stats[0].promoted >= 1);
+        assert!(stats[0].heavyweight >= 1);
+        assert!(stats[0].high_water <= 8);
+        // Program still correct.
+        let (v, _) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
+        let expected: i64 = (0..40).sum();
+        assert_eq!(v.ints, vec![expected]);
+    }
+
+    /// A module where `main` keeps a value live across a call to `leaf`,
+    /// and both spill.
+    fn caller_callee_module(k: u32) -> Module {
+        let mut leaf = FuncBuilder::new("leaf");
+        leaf.set_ret_classes(&[RegClass::Gpr]);
+        let vals: Vec<_> = (0..10).map(|i| leaf.loadi(i)).collect();
+        let mut acc = vals[9];
+        for v in vals[..9].iter().rev() {
+            acc = leaf.add(acc, *v);
+        }
+        leaf.ret(&[acc]);
+
+        let mut main = FuncBuilder::new("main");
+        main.set_ret_classes(&[RegClass::Gpr]);
+        let vals: Vec<_> = (0..10).map(|i| main.loadi(100 + i)).collect();
+        let r = main.call("leaf", &[], &[RegClass::Gpr]);
+        let mut acc = r[0];
+        for v in vals.iter() {
+            acc = main.add(acc, *v);
+        }
+        main.ret(&[acc]);
+
+        let mut m = Module::new();
+        m.push_function(leaf.finish());
+        m.push_function(main.finish());
+        allocate_module(&mut m, &AllocConfig::tiny(k));
+        m
+    }
+
+    #[test]
+    fn intraprocedural_skips_call_crossing_slots() {
+        let mut m = caller_callee_module(3);
+        let sa = SlotAnalysis::compute(m.function("main").unwrap());
+        let crossing = sa.crosses_call.iter().filter(|&&c| c).count();
+        assert!(crossing > 0, "setup: some slot must cross the call");
+        let stats = postpass_promote(
+            &mut m,
+            &PostpassConfig {
+                ccm_size: 512,
+                interprocedural: false,
+            },
+        );
+        let main_stats = stats.iter().find(|s| s.name == "main").unwrap();
+        assert!(
+            main_stats.heavyweight >= crossing,
+            "call-crossing slots must stay in main memory"
+        );
+        let (v, _) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
+        assert_eq!(v.ints, vec![(0..10).sum::<i64>() + (100..110).sum::<i64>()]);
+    }
+
+    #[test]
+    fn interprocedural_places_crossing_slots_above_callee_mark() {
+        let mut m = caller_callee_module(3);
+        let stats = postpass_promote(
+            &mut m,
+            &PostpassConfig {
+                ccm_size: 512,
+                interprocedural: true,
+            },
+        );
+        let leaf_stats = stats.iter().find(|s| s.name == "leaf").unwrap();
+        let main_stats = stats.iter().find(|s| s.name == "main").unwrap();
+        assert!(leaf_stats.promoted > 0);
+        // Interprocedural promotes call-crossing slots too.
+        assert_eq!(main_stats.heavyweight, 0);
+        assert!(main_stats.high_water >= leaf_stats.high_water);
+        // main's call-crossing CCM slots must sit above leaf's mark.
+        let mainf = m.function("main").unwrap();
+        let sa = SlotAnalysis::compute(mainf);
+        for (i, slot) in mainf.frame.slots.iter().enumerate() {
+            if slot.in_ccm && sa.crosses_call[i] {
+                assert!(
+                    slot.offset >= leaf_stats.high_water,
+                    "crossing slot at {} below leaf mark {}",
+                    slot.offset,
+                    leaf_stats.high_water
+                );
+            }
+        }
+        // Behavior preserved.
+        let (v, _) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
+        assert_eq!(v.ints, vec![(0..10).sum::<i64>() + (100..110).sum::<i64>()]);
+    }
+
+    #[test]
+    fn recursive_functions_marked_full() {
+        let mut f = FuncBuilder::new("rec");
+        f.set_ret_classes(&[RegClass::Gpr]);
+        let p = f.param(RegClass::Gpr);
+        let one = f.loadi(1);
+        let c = f.icmp(iloc::CmpKind::Le, p, one);
+        let base = f.block("base");
+        let recb = f.block("rec_case");
+        f.cbr(c, base, recb);
+        f.switch_to(base);
+        let r = f.loadi(1);
+        f.ret(&[r]);
+        f.switch_to(recb);
+        let nm1 = f.subi(p, 1);
+        let sub = f.call("rec", &[nm1], &[RegClass::Gpr]);
+        let out = f.mult(p, sub[0]);
+        f.ret(&[out]);
+
+        let mut main = FuncBuilder::new("main");
+        main.set_ret_classes(&[RegClass::Gpr]);
+        let five = main.loadi(5);
+        let r = main.call("rec", &[five], &[RegClass::Gpr]);
+        main.ret(&[r[0]]);
+
+        let mut m = Module::new();
+        m.push_function(f.finish());
+        m.push_function(main.finish());
+        allocate_module(&mut m, &AllocConfig::tiny(2));
+
+        let stats = postpass_promote(
+            &mut m,
+            &PostpassConfig {
+                ccm_size: 512,
+                interprocedural: true,
+            },
+        );
+        let rec_stats = stats.iter().find(|s| s.name == "rec").unwrap();
+        assert_eq!(rec_stats.high_water, 512, "cycle members use all of CCM");
+        let (v, _) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
+        assert_eq!(v.ints, vec![120]);
+    }
+
+    #[test]
+    fn ccm_slots_can_share_offsets_when_disjoint() {
+        // With a nearly-full CCM, slots from disjoint program phases must
+        // still promote by sharing offsets.
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        // Two independent wide computations, sequential.
+        let mut total = fb.loadi(0);
+        for round in 0..2 {
+            let vals: Vec<_> = (0..8).map(|i| fb.loadi(round * 100 + i)).collect();
+            let mut acc = vals[7];
+            for v in vals[..7].iter().rev() {
+                acc = fb.add(acc, *v);
+            }
+            total = fb.add(total, acc);
+        }
+        fb.ret(&[total]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        allocate_module(&mut m, &AllocConfig::tiny(3));
+        let slots = m.functions[0].frame.slots.len();
+        assert!(slots >= 2);
+        let stats = postpass_promote(
+            &mut m,
+            &PostpassConfig {
+                ccm_size: 8,
+                interprocedural: false,
+            },
+        );
+        assert!(
+            stats[0].promoted >= 2,
+            "disjoint slots must share CCM words: {stats:?}"
+        );
+        let (v, _) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
+        let expected: i64 = (0..8).sum::<i64>() + (100..108).sum::<i64>();
+        assert_eq!(v.ints, vec![expected]);
+    }
+}

@@ -1,0 +1,16 @@
+fn main() {
+    for k in suite::kernels() {
+        let m = suite::build_optimized(&k);
+        let mut am = m.clone();
+        let stats = regalloc::allocate_module(&mut am, &regalloc::AllocConfig::default());
+        let bytes: u32 = am.functions.iter().map(|f| f.frame.spill_bytes()).sum();
+        // pressure of the biggest routine
+        let mut maxg = 0; let mut maxf = 0;
+        for f in &m.functions {
+            let lv = analysis::Liveness::compute(f);
+            maxg = maxg.max(lv.max_pressure(f, iloc::RegClass::Gpr));
+            maxf = maxf.max(lv.max_pressure(f, iloc::RegClass::Fpr));
+        }
+        println!("{:<10} spills={:<4} bytes={:<6} pressure g={} f={}", k.name, stats.total_spilled(), bytes, maxg, maxf);
+    }
+}

@@ -1,0 +1,388 @@
+//! The experiments: one function per table/figure of the paper.
+
+use sim::{CacheConfig, MachineConfig};
+
+use crate::pipeline::{measure, Measurement, Variant};
+
+/// Table 1 row: spill-memory compaction for one routine.
+#[derive(Clone, Debug)]
+pub struct CompactionRow {
+    /// Routine name.
+    pub name: String,
+    /// Bytes of spill memory before compaction.
+    pub before: u32,
+    /// Bytes after compaction.
+    pub after: u32,
+}
+
+impl CompactionRow {
+    /// The paper's `after/before` ratio.
+    pub fn ratio(&self) -> f64 {
+        if self.before == 0 {
+            1.0
+        } else {
+            self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Runs the Table 1 experiment: Chaitin-Briggs allocation followed by
+/// coloring-based spill-memory compaction, reporting bytes before/after
+/// per spilling routine, sorted by descending `before`.
+pub fn table1() -> Vec<CompactionRow> {
+    let mut rows = Vec::new();
+    for k in suite::kernels() {
+        let mut m = suite::build_optimized(&k);
+        regalloc::allocate_module(&mut m, &regalloc::AllocConfig::default());
+        let before: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
+        if before == 0 {
+            continue;
+        }
+        ccm::compact_module(&mut m);
+        let after: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
+        // Correctness guard: compaction must not change results.
+        let (v, _) = sim::run_module(&m, MachineConfig::default(), "main")
+            .unwrap_or_else(|e| panic!("{} trapped after compaction: {e}", k.name));
+        assert!(v.floats[0].is_finite());
+        rows.push(CompactionRow {
+            name: k.name.to_string(),
+            before,
+            after,
+        });
+    }
+    rows.sort_by(|a, b| b.before.cmp(&a.before).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// Table 2/3 row: per-routine dynamic cycles for every variant.
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Routine name.
+    pub name: String,
+    /// Baseline measurement (absolute cycles).
+    pub baseline: Measurement,
+    /// Post-pass (intraprocedural) measurement.
+    pub postpass: Measurement,
+    /// Post-pass with call graph.
+    pub postpass_cg: Measurement,
+    /// Integrated allocator.
+    pub integrated: Measurement,
+}
+
+impl SpeedupRow {
+    /// Relative cycles of `m` vs. the baseline.
+    pub fn rel(&self, m: &Measurement) -> f64 {
+        m.cycles as f64 / self.baseline.cycles as f64
+    }
+
+    /// Relative memory-operation cycles of `m` vs. the baseline.
+    pub fn rel_mem(&self, m: &Measurement) -> f64 {
+        m.mem_cycles as f64 / self.baseline.mem_cycles.max(1) as f64
+    }
+
+    /// The three CCM measurements, in the paper's column order.
+    pub fn ccm_variants(&self) -> [&Measurement; 3] {
+        [&self.postpass, &self.postpass_cg, &self.integrated]
+    }
+}
+
+/// Runs the Table 2 experiment at the given CCM size over every kernel
+/// that spills: absolute baseline cycles plus relative cycle counts for
+/// the three CCM allocation methods.
+pub fn speedup_rows(ccm_size: u32) -> Vec<SpeedupRow> {
+    let machine = MachineConfig::with_ccm(ccm_size);
+    let mut rows = Vec::new();
+    for k in suite::kernels() {
+        let m = suite::build_optimized(&k);
+        let baseline = measure(m.clone(), Variant::Baseline, &machine);
+        if baseline.spilled_ranges == 0 {
+            continue; // the paper reports only routines that spill
+        }
+        let postpass = measure(m.clone(), Variant::PostPass, &machine);
+        let postpass_cg = measure(m.clone(), Variant::PostPassCallGraph, &machine);
+        let integrated = measure(m, Variant::Integrated, &machine);
+        for (v, r) in [("post-pass", &postpass), ("post-pass/cg", &postpass_cg), ("integrated", &integrated)]
+        {
+            assert_eq!(
+                r.checksum.to_bits(),
+                baseline.checksum.to_bits(),
+                "{}: {v} changed program output",
+                k.name
+            );
+        }
+        rows.push(SpeedupRow {
+            name: k.name.to_string(),
+            baseline,
+            postpass,
+            postpass_cg,
+            integrated,
+        });
+    }
+    rows
+}
+
+/// Table 3: kernels whose best CCM-variant cycle count improves when the
+/// CCM grows from 512 to 1024 bytes. Returns `(rows512, rows1024,
+/// improved_names)`.
+pub fn table3() -> (Vec<SpeedupRow>, Vec<SpeedupRow>, Vec<String>) {
+    let r512 = speedup_rows(512);
+    let r1024 = speedup_rows(1024);
+    let mut improved = Vec::new();
+    for (a, b) in r512.iter().zip(&r1024) {
+        debug_assert_eq!(a.name, b.name);
+        let best_512 = a
+            .ccm_variants()
+            .iter()
+            .map(|m| m.cycles)
+            .min()
+            .expect("three variants");
+        let best_1024 = b
+            .ccm_variants()
+            .iter()
+            .map(|m| m.cycles)
+            .min()
+            .expect("three variants");
+        if best_1024 < best_512 {
+            improved.push(a.name.clone());
+        }
+    }
+    (r512, r1024, improved)
+}
+
+/// Table 4 cell: weighted-average percentage reductions for one
+/// algorithm at one CCM size.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Table4Cell {
+    /// Percent reduction in total cycles (suite-weighted).
+    pub total_pct: f64,
+    /// Percent reduction in memory-operation cycles.
+    pub mem_pct: f64,
+}
+
+/// Computes the Table 4 weighted averages from a set of speedup rows.
+/// Weighting follows the paper: total cycles across the suite (big
+/// routines dominate), i.e. `100·(1 − Σ cycles_v / Σ cycles_base)`.
+pub fn table4_from(rows: &[SpeedupRow]) -> [Table4Cell; 3] {
+    let base_total: u64 = rows.iter().map(|r| r.baseline.cycles).sum();
+    let base_mem: u64 = rows.iter().map(|r| r.baseline.mem_cycles).sum();
+    let mut out = [Table4Cell {
+        total_pct: 0.0,
+        mem_pct: 0.0,
+    }; 3];
+    type Pick = for<'a> fn(&'a SpeedupRow) -> &'a Measurement;
+    let picks: [Pick; 3] = [
+        |r| &r.postpass,
+        |r| &r.postpass_cg,
+        |r| &r.integrated,
+    ];
+    for (i, pick) in picks.into_iter().enumerate() {
+        let v_total: u64 = rows.iter().map(|r| pick(r).cycles).sum();
+        let v_mem: u64 = rows.iter().map(|r| pick(r).mem_cycles).sum();
+        out[i] = Table4Cell {
+            total_pct: 100.0 * (1.0 - v_total as f64 / base_total as f64),
+            mem_pct: 100.0 * (1.0 - v_mem as f64 / base_mem as f64),
+        };
+    }
+    out
+}
+
+/// Figure 3/4 row: whole-program relative times for the three methods.
+#[derive(Clone, Debug)]
+pub struct ProgramRow {
+    /// Program name.
+    pub name: String,
+    /// Baseline cycles / memory-op cycles.
+    pub baseline: (u64, u64),
+    /// Relative (running time, memory-op time) for post-pass,
+    /// post-pass w/ call graph, and integrated, in that order.
+    pub rel: [(f64, f64); 3],
+}
+
+impl ProgramRow {
+    /// Whether any method improved whole-program running time by ≥ 0.5 %.
+    pub fn improved(&self) -> bool {
+        self.rel.iter().any(|(t, _)| *t < 0.995)
+    }
+}
+
+/// Runs the Figure 3 (512 B) or Figure 4 (1024 B) experiment over the 13
+/// programs.
+pub fn figure(ccm_size: u32) -> Vec<ProgramRow> {
+    let machine = MachineConfig::with_ccm(ccm_size);
+    let mut rows = Vec::new();
+    for p in suite::programs() {
+        let m = suite::build_program(&p);
+        let base = measure(m.clone(), Variant::Baseline, &machine);
+        let mut rel = [(1.0, 1.0); 3];
+        for (i, v) in [Variant::PostPass, Variant::PostPassCallGraph, Variant::Integrated]
+            .into_iter()
+            .enumerate()
+        {
+            let r = measure(m.clone(), v, &machine);
+            assert_eq!(
+                r.checksum.to_bits(),
+                base.checksum.to_bits(),
+                "{}: {v:?} changed program output",
+                p.name
+            );
+            rel[i] = (
+                r.cycles as f64 / base.cycles as f64,
+                r.mem_cycles as f64 / base.mem_cycles.max(1) as f64,
+            );
+        }
+        rows.push(ProgramRow {
+            name: p.name.to_string(),
+            baseline: (base.cycles, base.mem_cycles),
+            rel,
+        });
+    }
+    rows
+}
+
+/// §4.3 ablation result: one memory-hierarchy configuration.
+#[derive(Clone, Debug)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: String,
+    /// Baseline (spills through the hierarchy) cycles and hit rate.
+    pub base_cycles: u64,
+    /// Baseline cache hit rate.
+    pub base_hit_rate: f64,
+    /// CCM (post-pass w/ call graph) cycles and hit rate.
+    pub ccm_cycles: u64,
+    /// CCM-variant cache hit rate.
+    pub ccm_hit_rate: f64,
+}
+
+/// Runs the §4.3 "more complex execution models" ablation on a set of
+/// spill-heavy kernels: a plain cache, a bigger cache, a cache with a
+/// write buffer, and a cache with a victim cache — in each case comparing
+/// spilling through the hierarchy against spilling to the CCM.
+pub fn ablation() -> Vec<AblationRow> {
+    let kernels = ["fpppp", "twldrv", "jacld", "radf5", "deseco"];
+    let mut configs: Vec<(String, CacheConfig)> = Vec::new();
+    let base = CacheConfig::small_direct_mapped();
+    configs.push(("8K direct-mapped".into(), base.clone()));
+    configs.push((
+        "32K 2-way (better cache)".into(),
+        CacheConfig {
+            size: 32 * 1024,
+            assoc: 2,
+            ..base.clone()
+        },
+    ));
+    configs.push((
+        "8K DM + 8-entry write buffer".into(),
+        CacheConfig {
+            write_buffer: 8,
+            ..base.clone()
+        },
+    ));
+    configs.push((
+        "8K DM + 4-line victim cache".into(),
+        CacheConfig {
+            victim_lines: 4,
+            ..base
+        },
+    ));
+
+    let mut rows = Vec::new();
+    for (label, cache) in configs {
+        let machine = MachineConfig {
+            cache: Some(cache),
+            ..MachineConfig::with_ccm(512)
+        };
+        let mut base_cycles = 0;
+        let mut ccm_cycles = 0;
+        let mut base_hits = (0u64, 0u64);
+        let mut ccm_hits = (0u64, 0u64);
+        for name in kernels {
+            let k = suite::kernel(name).expect("kernel exists");
+            let m = suite::build_optimized(&k);
+            let b = measure(m.clone(), Variant::Baseline, &machine);
+            let c = measure(m, Variant::PostPassCallGraph, &machine);
+            base_cycles += b.cycles;
+            ccm_cycles += c.cycles;
+            base_hits.0 += b.metrics.cache.hits + b.metrics.cache.victim_hits;
+            base_hits.1 += b.metrics.cache.misses + b.metrics.cache.hits + b.metrics.cache.victim_hits;
+            ccm_hits.0 += c.metrics.cache.hits + c.metrics.cache.victim_hits;
+            ccm_hits.1 += c.metrics.cache.misses + c.metrics.cache.hits + c.metrics.cache.victim_hits;
+        }
+        rows.push(AblationRow {
+            config: label,
+            base_cycles,
+            base_hit_rate: base_hits.0 as f64 / base_hits.1.max(1) as f64,
+            ccm_cycles,
+            ccm_hit_rate: ccm_hits.0 as f64 / ccm_hits.1.max(1) as f64,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reports_spilling_routines_with_valid_ratios() {
+        let rows = table1();
+        assert!(rows.len() >= 10, "need a healthy population of spillers");
+        for r in &rows {
+            assert!(r.after <= r.before, "{}: compaction grew memory", r.name);
+            assert!(r.ratio() > 0.0 && r.ratio() <= 1.0);
+        }
+        // Aggregate shape: compaction should buy a real reduction.
+        let before: u32 = rows.iter().map(|r| r.before).sum();
+        let after: u32 = rows.iter().map(|r| r.after).sum();
+        assert!(
+            (after as f64) < 0.9 * before as f64,
+            "aggregate ratio {} not < 0.9",
+            after as f64 / before as f64
+        );
+    }
+
+    #[test]
+    fn speedups_have_paper_shape_at_512() {
+        let rows = speedup_rows(512);
+        assert!(rows.len() >= 10);
+        // No CCM variant may ever be slower than baseline.
+        for r in &rows {
+            for m in r.ccm_variants() {
+                assert!(
+                    m.cycles <= r.baseline.cycles,
+                    "{}: CCM variant slower",
+                    r.name
+                );
+            }
+            // Interprocedural post-pass dominates intraprocedural.
+            assert!(r.postpass_cg.cycles <= r.postpass.cycles, "{}", r.name);
+        }
+        // A majority of spilling kernels should see real speedups.
+        let improved = rows
+            .iter()
+            .filter(|r| r.rel(&r.postpass_cg) < 0.995)
+            .count();
+        assert!(
+            improved * 2 >= rows.len(),
+            "only {improved}/{} improved",
+            rows.len()
+        );
+        let t4 = table4_from(&rows);
+        // Paper: 3-6 % total-cycle reduction, 10-17 % memory-cycle
+        // reduction. Accept a generous band around that shape.
+        assert!(
+            t4[1].total_pct > 1.0 && t4[1].total_pct < 25.0,
+            "total reduction {:.1}% out of band",
+            t4[1].total_pct
+        );
+        assert!(
+            t4[1].mem_pct > 4.0 && t4[1].mem_pct < 50.0,
+            "memory reduction {:.1}% out of band",
+            t4[1].mem_pct
+        );
+        // Memory-cycle reduction always exceeds total-cycle reduction.
+        for c in t4 {
+            assert!(c.mem_pct >= c.total_pct);
+        }
+    }
+}

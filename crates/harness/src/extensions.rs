@@ -1,0 +1,586 @@
+//! Extension experiments beyond the paper's tables: the CCM sizing curve
+//! (§4.1's "how much CCM is necessary?"), and ablations of the design
+//! choices DESIGN.md calls out — scalar optimization, LICM, coalescing,
+//! and the calling convention.
+
+use regalloc::AllocConfig;
+use sim::MachineConfig;
+
+use crate::pipeline::{measure, Variant};
+
+/// One point on the CCM sizing curve.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// CCM capacity in bytes.
+    pub ccm_size: u32,
+    /// Suite-weighted percent reduction in total cycles (post-pass w/
+    /// call graph vs. baseline).
+    pub total_pct: f64,
+    /// Suite-weighted percent reduction in memory-operation cycles.
+    pub mem_pct: f64,
+    /// Fraction of spilled live ranges promoted into the CCM.
+    pub promoted_fraction: f64,
+}
+
+/// Sweeps the CCM size over the spilling kernels, answering the paper's
+/// sizing question: most of the benefit arrives by a few hundred bytes.
+pub fn ccm_sweep(sizes: &[u32]) -> Vec<SweepPoint> {
+    // Build + measure the baseline once.
+    let modules: Vec<iloc::Module> = suite::kernels()
+        .iter()
+        .map(suite::build_optimized)
+        .collect();
+    let machine0 = MachineConfig::with_ccm(16);
+    let baselines: Vec<_> = modules
+        .iter()
+        .map(|m| measure(m.clone(), Variant::Baseline, &machine0))
+        .collect();
+    let spilling: Vec<usize> = (0..modules.len())
+        .filter(|&i| baselines[i].spilled_ranges > 0)
+        .collect();
+    let base_total: u64 = spilling.iter().map(|&i| baselines[i].cycles).sum();
+    let base_mem: u64 = spilling.iter().map(|&i| baselines[i].mem_cycles).sum();
+
+    let mut out = Vec::new();
+    for &size in sizes {
+        let machine = MachineConfig::with_ccm(size);
+        let mut total = 0u64;
+        let mut mem = 0u64;
+        let mut promoted = 0u64;
+        let mut ccm_possible = 0u64;
+        for &i in &spilling {
+            let r = measure(modules[i].clone(), Variant::PostPassCallGraph, &machine);
+            total += r.cycles;
+            mem += r.mem_cycles;
+            promoted += r.metrics.ccm_ops;
+            ccm_possible += r.metrics.spill_stores + r.metrics.spill_restores;
+        }
+        out.push(SweepPoint {
+            ccm_size: size,
+            total_pct: 100.0 * (1.0 - total as f64 / base_total as f64),
+            mem_pct: 100.0 * (1.0 - mem as f64 / base_mem as f64),
+            promoted_fraction: promoted as f64 / ccm_possible.max(1) as f64,
+        });
+    }
+    out
+}
+
+/// One row of a design-choice ablation.
+#[derive(Clone, Debug)]
+pub struct DesignRow {
+    /// Configuration label.
+    pub config: String,
+    /// Spilled live ranges across the subset.
+    pub spilled: usize,
+    /// Bytes of main-memory spill space.
+    pub spill_bytes: u32,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+const ABLATION_KERNELS: [&str; 5] = ["fpppp", "radf5", "deseco", "urand", "erhs"];
+
+fn run_config(
+    opts: &opt::OptOptions,
+    alloc: &AllocConfig,
+    promote: bool,
+) -> DesignRow {
+    let machine = MachineConfig::with_ccm(512);
+    let mut spilled = 0;
+    let mut spill_bytes = 0;
+    let mut cycles = 0;
+    for name in ABLATION_KERNELS {
+        let k = suite::kernel(name).expect("kernel");
+        let mut m = (k.build)();
+        let o = opt::OptOptions {
+            unroll: k.unroll,
+            ..*opts
+        };
+        opt::optimize_module(&mut m, &o);
+        spilled += regalloc::allocate_module(&mut m, alloc).total_spilled();
+        if promote {
+            ccm::postpass_promote(
+                &mut m,
+                &ccm::PostpassConfig {
+                    ccm_size: 512,
+                    interprocedural: true,
+                },
+            );
+            // Paper, footnote 3: repack the remaining heavyweight slots
+            // so the reported spill space is honest.
+            ccm::compact_module(&mut m);
+        }
+        spill_bytes += m
+            .functions
+            .iter()
+            .map(|f| f.frame.spill_bytes())
+            .sum::<u32>();
+        let (_, metrics) =
+            sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
+        cycles += metrics.cycles;
+    }
+    DesignRow {
+        config: String::new(),
+        spilled,
+        spill_bytes,
+        cycles,
+    }
+}
+
+/// Ablates the design choices: scalar optimization on/off, LICM on/off,
+/// coalescing on/off, and caller-saved conventions — each measured by
+/// spills produced and cycles executed on a spill-heavy subset.
+pub fn design_ablation() -> Vec<DesignRow> {
+    let base_opts = opt::OptOptions::default();
+    let base_alloc = AllocConfig::default();
+    let mut rows = Vec::new();
+    let mut push = |label: &str, mut r: DesignRow| {
+        r.config = label.to_string();
+        rows.push(r);
+    };
+    push(
+        "baseline (opt, coalesce, no CCM)",
+        run_config(&base_opts, &base_alloc, false),
+    );
+    push(
+        "+ CCM post-pass",
+        run_config(&base_opts, &base_alloc, true),
+    );
+    push(
+        "no scalar optimization",
+        run_config(
+            &opt::OptOptions {
+                max_rounds: 0,
+                ..base_opts
+            },
+            &base_alloc,
+            false,
+        ),
+    );
+    push(
+        "with LICM (more pressure)",
+        run_config(
+            &opt::OptOptions {
+                licm: true,
+                ..base_opts
+            },
+            &base_alloc,
+            false,
+        ),
+    );
+    push(
+        "with rematerialization",
+        run_config(
+            &base_opts,
+            &AllocConfig {
+                rematerialize: true,
+                ..base_alloc
+            },
+            false,
+        ),
+    );
+    push(
+        "remat + CCM post-pass",
+        run_config(
+            &base_opts,
+            &AllocConfig {
+                rematerialize: true,
+                ..base_alloc
+            },
+            true,
+        ),
+    );
+    push(
+        "no coalescing",
+        run_config(
+            &base_opts,
+            &AllocConfig {
+                coalesce: false,
+                ..base_alloc
+            },
+            false,
+        ),
+    );
+    push(
+        "caller-saved = 8",
+        run_config(
+            &base_opts,
+            &AllocConfig {
+                caller_saved: 8,
+                ..base_alloc
+            },
+            false,
+        ),
+    );
+    push(
+        "caller-saved = 16",
+        run_config(
+            &base_opts,
+            &AllocConfig {
+                caller_saved: 16,
+                ..base_alloc
+            },
+            false,
+        ),
+    );
+    rows
+}
+
+/// Renders the sizing sweep.
+pub fn render_sweep(points: &[SweepPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "CCM sizing curve (post-pass w/ call graph, spilling kernels)");
+    let _ = writeln!(
+        s,
+        "{:>9} {:>12} {:>12} {:>10}",
+        "CCM bytes", "total cyc ↓", "mem cyc ↓", "promoted"
+    );
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:>9} {:>11.1}% {:>11.1}% {:>9.0}%",
+            p.ccm_size,
+            p.total_pct,
+            p.mem_pct,
+            100.0 * p.promoted_fraction
+        );
+    }
+    s
+}
+
+/// Renders the design ablation.
+pub fn render_design(rows: &[DesignRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "Design-choice ablation (five spill-heavy kernels)");
+    let _ = writeln!(
+        s,
+        "{:<36} {:>8} {:>12} {:>12}",
+        "configuration", "spills", "spill bytes", "cycles"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<36} {:>8} {:>12} {:>12}",
+            r.config, r.spilled, r.spill_bytes, r.cycles
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_monotone_and_saturates() {
+        let pts = ccm_sweep(&[32, 128, 512, 2048]);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].total_pct >= w[0].total_pct - 1e-9,
+                "bigger CCM must not hurt: {:?}",
+                pts
+            );
+            assert!(w[1].promoted_fraction >= w[0].promoted_fraction - 1e-9);
+        }
+        // The paper's claim: a modest CCM already captures most of the
+        // benefit — 512 bytes must capture over half of what 2 KiB does.
+        let at_512 = pts.iter().find(|p| p.ccm_size == 512).unwrap();
+        let at_2048 = pts.iter().find(|p| p.ccm_size == 2048).unwrap();
+        assert!(at_512.total_pct > 0.5 * at_2048.total_pct);
+    }
+
+    #[test]
+    fn design_ablation_directions() {
+        let rows = design_ablation();
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.config.starts_with(label))
+                .unwrap_or_else(|| panic!("row {label}"))
+        };
+        let base = get("baseline");
+        // CCM promotion cuts cycles without changing spill decisions.
+        assert!(get("+ CCM").cycles < base.cycles);
+        assert_eq!(get("+ CCM").spilled, base.spilled);
+        // Turning the optimizer off inflates the instruction stream.
+        assert!(get("no scalar").cycles > base.cycles);
+        // LICM raises pressure → at least as many spilled ranges.
+        assert!(get("with LICM").spilled >= base.spilled);
+        // Disabling coalescing cannot reduce spilling.
+        assert!(get("no coalescing").spilled >= base.spilled);
+        // Rematerialization reduces dynamic cost on its own and composes
+        // with the CCM.
+        let remat = get("with remat");
+        assert!(remat.cycles <= base.cycles);
+        let both = get("remat + CCM");
+        assert!(both.cycles <= remat.cycles);
+        // A stricter convention (fewer colors across calls) cannot spill
+        // less than the unconstrained model.
+        assert!(get("caller-saved = 16").spilled >= base.spilled);
+    }
+}
+
+/// One row of the scheduling study.
+#[derive(Clone, Debug)]
+pub struct SchedRow {
+    /// Configuration label.
+    pub config: String,
+    /// Spilled live ranges across the subset.
+    pub spilled: usize,
+    /// Cycles lost to load-delay stalls.
+    pub stalls: u64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+/// The scheduling study the paper declined to run (§4.3, last paragraph):
+/// on a machine with pipelined 2-cycle loads, measure (a) post-allocation
+/// list scheduling hiding load latency, (b) pre-allocation scheduling
+/// raising spill counts, and (c) CCM spilling removing the need to hide
+/// spill reloads at all ("let the scheduler place the load for a spilled
+/// value next to its use", §1).
+pub fn scheduling_study() -> Vec<SchedRow> {
+    let machine = MachineConfig {
+        load_delay: Some(2),
+        ..MachineConfig::with_ccm(512)
+    };
+    // Kernels whose loads sit next to their uses — the code shape where
+    // hoisting loads for latency genuinely lengthens live ranges. (The
+    // suite's widest kernels already keep everything live at once, so
+    // scheduling can only relax them; both effects are real, and the
+    // paper's "can … cause added spilling" is the direction shown here.)
+    let kernels = ["radf4", "radb4", "colbur", "cosqf1", "zeroin"];
+    let mut rows = Vec::new();
+
+    let mut run = |label: &str, pre_sched: bool, post_sched: bool, promote: bool| {
+        let mut spilled = 0;
+        let mut stalls = 0;
+        let mut cycles = 0;
+        for name in kernels {
+            let k = suite::kernel(name).expect("kernel");
+            let mut m = suite::build_optimized(&k);
+            if pre_sched {
+                sched::schedule_module(&mut m, 3);
+            }
+            spilled += regalloc::allocate_module(&mut m, &AllocConfig::default())
+                .total_spilled();
+            if promote {
+                ccm::postpass_promote(
+                    &mut m,
+                    &ccm::PostpassConfig {
+                        ccm_size: 512,
+                        interprocedural: true,
+                    },
+                );
+            }
+            if post_sched {
+                sched::schedule_module(&mut m, 3);
+            }
+            m.verify().expect("verifies");
+            let (_, metrics) =
+                sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
+            stalls += metrics.stall_cycles;
+            cycles += metrics.cycles;
+        }
+        rows.push(SchedRow {
+            config: label.to_string(),
+            spilled,
+            stalls,
+            cycles,
+        });
+    };
+
+    run("unscheduled, no CCM", false, false, false);
+    run("post-RA scheduled, no CCM", false, true, false);
+    run("pre-RA scheduled, no CCM", true, false, false);
+    run("unscheduled + CCM", false, false, true);
+    run("post-RA scheduled + CCM", false, true, true);
+    rows
+}
+
+/// Renders the scheduling study.
+pub fn render_sched(rows: &[SchedRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Scheduling study (pipelined loads, 2-cycle delay; five spill-heavy kernels)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<30} {:>8} {:>12} {:>12}",
+        "configuration", "spills", "stall cyc", "total cyc"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<30} {:>8} {:>12} {:>12}",
+            r.config, r.spilled, r.stalls, r.cycles
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod sched_tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_study_directions() {
+        let rows = scheduling_study();
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.config == label)
+                .unwrap_or_else(|| panic!("row {label}"))
+        };
+        let base = get("unscheduled, no CCM");
+        let post = get("post-RA scheduled, no CCM");
+        let pre = get("pre-RA scheduled, no CCM");
+        let ccm_only = get("unscheduled + CCM");
+        let both = get("post-RA scheduled + CCM");
+        // Post-RA scheduling hides load latency.
+        assert!(post.stalls < base.stalls, "{post:?} vs {base:?}");
+        assert!(post.cycles <= base.cycles);
+        assert_eq!(post.spilled, base.spilled, "post-RA sched cannot change spills");
+        // Pre-RA scheduling raises register pressure → more spills on
+        // this load-adjacent kernel set (the paper's warning).
+        assert!(pre.spilled > base.spilled, "{pre:?} vs {base:?}");
+        // CCM alone removes the spill-reload stalls (1-cycle restores
+        // need no hiding) — a large stall reduction without a scheduler.
+        assert!(ccm_only.stalls < base.stalls);
+        assert!(ccm_only.cycles < base.cycles);
+        // The combination is the best configuration of all.
+        assert!(both.cycles <= post.cycles.min(ccm_only.cycles));
+    }
+}
+
+/// One row of the multitasking study (§2.1/§5).
+#[derive(Clone, Debug)]
+pub struct MultitaskRow {
+    /// Total CCM size in bytes.
+    pub ccm_size: u32,
+    /// Suite-weighted % cycle reduction if one process owns the full CCM.
+    pub benefit_full: f64,
+    /// Net % reduction when the OS copies the whole CCM at every context
+    /// switch, for each quantum in [`MULTITASK_QUANTA`].
+    pub net_copying: [f64; 3],
+    /// % reduction when the CCM is partitioned four ways with a
+    /// system-controlled base register (no switch cost, quarter capacity).
+    pub benefit_partitioned: f64,
+}
+
+/// Context-switch quanta (cycles) evaluated by [`multitask_study`].
+pub const MULTITASK_QUANTA: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+/// The §2.1 multitasking question: with several processes sharing the
+/// chip, should the OS copy the CCM in and out on context switches, or
+/// carve it up with a base register? Benefits come from the measured
+/// sizing curve; copy cost is `2 × size/8` memory operations at two
+/// cycles each (save + restore of 8-byte words).
+pub fn multitask_study() -> Vec<MultitaskRow> {
+    let processes = 4u32;
+    let sizes = [1024u32, 4096, 16 * 1024, 32 * 1024];
+    // Measure the sizing curve at every size we need (full + quarter).
+    let mut need: Vec<u32> = Vec::new();
+    for &s in &sizes {
+        need.push(s);
+        need.push(s / processes);
+    }
+    need.sort_unstable();
+    need.dedup();
+    let points = ccm_sweep(&need);
+    let benefit = |size: u32| -> f64 {
+        points
+            .iter()
+            .find(|p| p.ccm_size == size)
+            .expect("measured")
+            .total_pct
+    };
+
+    sizes
+        .iter()
+        .map(|&s| {
+            let full = benefit(s);
+            let copy_cycles = 2 * (s as u64 / 8) * 2; // save + restore
+            let mut net = [0.0; 3];
+            for (i, q) in MULTITASK_QUANTA.iter().enumerate() {
+                let overhead_pct = 100.0 * copy_cycles as f64 / *q as f64;
+                net[i] = full - overhead_pct;
+            }
+            MultitaskRow {
+                ccm_size: s,
+                benefit_full: full,
+                net_copying: net,
+                benefit_partitioned: benefit(s / processes),
+            }
+        })
+        .collect()
+}
+
+/// Renders the multitasking study.
+pub fn render_multitask(rows: &[MultitaskRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Multitasking study (§2.1/§5): 4 processes, copy-on-switch vs base-register partition"
+    );
+    let _ = writeln!(
+        s,
+        "{:>9} {:>9} | {:>12} {:>12} {:>12} | {:>12}",
+        "CCM", "full", "copy Q=10k", "copy Q=100k", "copy Q=1M", "partitioned"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>8}B {:>8.1}% | {:>11.1}% {:>11.1}% {:>11.1}% | {:>11.1}%",
+            r.ccm_size,
+            r.benefit_full,
+            r.net_copying[0],
+            r.net_copying[1],
+            r.net_copying[2],
+            r.benefit_partitioned
+        );
+    }
+    let _ = writeln!(
+        s,
+        "(negative = the copying overhead exceeds the CCM's entire benefit)"
+    );
+    s
+}
+
+#[cfg(test)]
+mod multitask_tests {
+    use super::*;
+
+    #[test]
+    fn partitioning_beats_copying_at_short_quanta() {
+        let rows = multitask_study();
+        // The paper's recommendation: with a base register, a 16-32 KB CCM
+        // gives every process the full single-process benefit.
+        let big = rows.iter().find(|r| r.ccm_size == 32 * 1024).unwrap();
+        assert!(
+            big.benefit_partitioned >= 0.99 * big.benefit_full,
+            "an 8 KB partition must capture the saturated benefit"
+        );
+        // Copying a large CCM at a short quantum is catastrophic.
+        assert!(
+            big.net_copying[0] < 0.0,
+            "copying 32 KB every 10k cycles must erase the benefit"
+        );
+        // At the short quantum, partitioning wins for every CCM large
+        // enough that a quarter still performs (≥ 4 KB); at long quanta
+        // and tiny CCMs, copying legitimately wins (the copy is
+        // negligible and the partition loses capacity) — both directions
+        // are part of the design space the paper sketches.
+        for r in rows.iter().filter(|r| r.ccm_size >= 4096) {
+            assert!(r.benefit_partitioned >= r.net_copying[0] - 1e-9);
+        }
+        let tiny = rows.iter().find(|r| r.ccm_size == 1024).unwrap();
+        assert!(
+            tiny.net_copying[2] > tiny.benefit_partitioned,
+            "copying a 1 KB CCM at a 1M-cycle quantum should beat a 256 B partition"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! * [`experiments::table1`] — spill-memory compaction (Table 1);
+//! * [`experiments::speedup_rows`] — per-routine speedups (Tables 2/3);
+//! * [`experiments::table4_from`] — weighted averages (Table 4);
+//! * [`experiments::figure`] — whole-program results (Figures 3/4);
+//! * [`experiments::ablation`] — §4.3 memory-hierarchy ablation;
+//! * [`extensions::ccm_sweep`] / [`extensions::design_ablation`] —
+//!   extension studies (CCM sizing curve, design-choice ablations).
+//!
+//! The `repro` binary prints them: `cargo run --release -p harness -- --all`.
+
+pub mod csv;
+pub mod experiments;
+pub mod extensions;
+pub mod pipeline;
+pub mod report;
+
+pub use extensions::{
+    ccm_sweep, design_ablation, multitask_study, render_design, render_multitask, render_sched,
+    render_sweep, scheduling_study, DesignRow, MultitaskRow, SchedRow, SweepPoint,
+};
+
+pub use experiments::{
+    ablation, figure, speedup_rows, table1, table3, table4_from, AblationRow, CompactionRow,
+    ProgramRow, SpeedupRow, Table4Cell,
+};
+pub use csv::export_all;
+pub use pipeline::{allocate_variant, measure, Measurement, Variant};

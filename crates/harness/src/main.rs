@@ -1,0 +1,71 @@
+//! `repro`: prints the paper's tables and figures from live runs.
+
+use harness::report;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--table1] [--table2] [--table3] [--table4] \
+         [--figure3] [--figure4] [--ablation] [--sweep] [--design] [--sched] [--multitask] [--csv DIR] [--all]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let want = |flag: &str| args.iter().any(|a| a == flag || a == "--all");
+
+    if want("--table1") {
+        println!("{}", report::render_table1(&harness::table1()));
+    }
+    if want("--table2") {
+        let rows = harness::speedup_rows(512);
+        println!("{}", report::render_table2(&rows, 512));
+    }
+    if want("--table3") || want("--table4") {
+        let (r512, r1024, improved) = harness::table3();
+        if want("--table3") {
+            println!("{}", report::render_table3(&r512, &r1024, &improved));
+        }
+        if want("--table4") {
+            println!("{}", report::render_table4(&r512, &r1024));
+        }
+    }
+    if want("--figure3") {
+        println!("{}", report::render_figure(&harness::figure(512), 512));
+    }
+    if want("--figure4") {
+        println!("{}", report::render_figure(&harness::figure(1024), 1024));
+    }
+    if want("--ablation") {
+        println!("{}", report::render_ablation(&harness::ablation()));
+    }
+    if want("--sweep") {
+        let sizes = [64, 128, 256, 512, 1024, 2048, 4096];
+        println!("{}", harness::render_sweep(&harness::ccm_sweep(&sizes)));
+    }
+    if want("--design") {
+        println!("{}", harness::render_design(&harness::design_ablation()));
+    }
+    if want("--sched") {
+        println!("{}", harness::render_sched(&harness::scheduling_study()));
+    }
+    if want("--multitask") {
+        println!("{}", harness::render_multitask(&harness::multitask_study()));
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let dir = args
+            .get(pos + 1)
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("results"));
+        match harness::export_all(&dir) {
+            Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),
+            Err(e) => {
+                eprintln!("csv export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The compile-and-measure pipeline shared by all experiments.
+
+use iloc::Module;
+use regalloc::AllocConfig;
+use sim::{MachineConfig, Metrics};
+
+/// The allocation strategy under test — the three CCM methods of the
+/// paper plus the no-CCM baseline.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Conventional Chaitin-Briggs; all spills to main memory.
+    Baseline,
+    /// Post-pass CCM allocator, no interprocedural information.
+    PostPass,
+    /// Post-pass CCM allocator with call-graph information.
+    PostPassCallGraph,
+    /// CCM spilling integrated into the Chaitin-Briggs allocator.
+    Integrated,
+}
+
+impl Variant {
+    /// All variants, baseline first.
+    pub const ALL: [Variant; 4] = [
+        Variant::Baseline,
+        Variant::PostPass,
+        Variant::PostPassCallGraph,
+        Variant::Integrated,
+    ];
+
+    /// Column label used in the printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Baseline => "Without CCM",
+            Variant::PostPass => "Post-Pass",
+            Variant::PostPassCallGraph => "Post-Pass w/ Call Graph",
+            Variant::Integrated => "Integrated",
+        }
+    }
+}
+
+/// One measured configuration of one module.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Dynamic cycle count.
+    pub cycles: u64,
+    /// Cycles spent in memory operations (main memory + CCM).
+    pub mem_cycles: u64,
+    /// Full metric set.
+    pub metrics: Metrics,
+    /// The checksum the program returned (for equivalence checking).
+    pub checksum: f64,
+    /// Bytes of main-memory spill space across all functions.
+    pub spill_bytes: u32,
+    /// Live ranges spilled during allocation.
+    pub spilled_ranges: usize,
+}
+
+/// Applies `variant` allocation (with CCM capacity `ccm_size`) to an
+/// optimized module. The input should come from
+/// [`suite::build_optimized`] or [`suite::build_program`].
+pub fn allocate_variant(m: &mut Module, variant: Variant, ccm_size: u32) -> usize {
+    let cfg = AllocConfig::default();
+    match variant {
+        Variant::Baseline => regalloc::allocate_module(m, &cfg).total_spilled(),
+        Variant::PostPass => {
+            let n = regalloc::allocate_module(m, &cfg).total_spilled();
+            ccm::postpass_promote(
+                m,
+                &ccm::PostpassConfig {
+                    ccm_size,
+                    interprocedural: false,
+                },
+            );
+            n
+        }
+        Variant::PostPassCallGraph => {
+            let n = regalloc::allocate_module(m, &cfg).total_spilled();
+            ccm::postpass_promote(
+                m,
+                &ccm::PostpassConfig {
+                    ccm_size,
+                    interprocedural: true,
+                },
+            );
+            n
+        }
+        Variant::Integrated => {
+            let (a, _) = ccm::allocate_module_integrated(m, &cfg, ccm_size);
+            a.total_spilled()
+        }
+    }
+}
+
+/// Allocates (per `variant`) and simulates an optimized module, returning
+/// the measurement. `machine` controls CCM size and any cache model.
+///
+/// # Panics
+///
+/// Panics if the program traps — suite programs are expected to run.
+pub fn measure(mut m: Module, variant: Variant, machine: &MachineConfig) -> Measurement {
+    let spilled_ranges = allocate_variant(&mut m, variant, machine.ccm_size);
+    m.verify()
+        .unwrap_or_else(|e| panic!("allocated module fails verification: {e}"));
+    let (vals, metrics) = sim::run_module(&m, machine.clone(), "main")
+        .unwrap_or_else(|e| panic!("simulation trapped: {e}"));
+    let spill_bytes = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
+    Measurement {
+        cycles: metrics.cycles,
+        mem_cycles: metrics.mem_op_cycles,
+        metrics,
+        checksum: vals.floats.first().copied().unwrap_or(f64::NAN),
+        spill_bytes,
+        spilled_ranges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_on_checksum_and_ccm_wins() {
+        let k = suite::kernel("radf5").unwrap();
+        let m = suite::build_optimized(&k);
+        let machine = MachineConfig::with_ccm(512);
+        let base = measure(m.clone(), Variant::Baseline, &machine);
+        assert!(base.spilled_ranges > 0, "radf5 must spill");
+        for v in [Variant::PostPass, Variant::PostPassCallGraph, Variant::Integrated] {
+            let r = measure(m.clone(), v, &machine);
+            assert_eq!(
+                r.checksum.to_bits(),
+                base.checksum.to_bits(),
+                "{v:?} changed the checksum"
+            );
+            assert!(
+                r.cycles <= base.cycles,
+                "{v:?} slower than baseline: {} vs {}",
+                r.cycles,
+                base.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn non_spilling_kernel_unaffected() {
+        let k = suite::kernel("efill").unwrap();
+        let m = suite::build_optimized(&k);
+        let machine = MachineConfig::with_ccm(512);
+        let base = measure(m.clone(), Variant::Baseline, &machine);
+        assert_eq!(base.spilled_ranges, 0);
+        let pp = measure(m.clone(), Variant::PostPassCallGraph, &machine);
+        assert_eq!(pp.cycles, base.cycles);
+        assert_eq!(pp.metrics.ccm_ops, 0);
+    }
+}

@@ -1,0 +1,770 @@
+//! Instructions and opcodes.
+
+use crate::block::BlockId;
+use crate::func::{SlotId, SpillKind};
+use crate::reg::{Reg, RegClass};
+
+/// Integer binary operation kinds.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum IBinKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mult,
+    /// Signed division (traps on zero divisor).
+    Div,
+    /// Signed remainder (traps on zero divisor).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Left shift (count taken mod 32).
+    Shl,
+    /// Arithmetic right shift (count taken mod 32).
+    Shr,
+}
+
+impl IBinKind {
+    /// The ILOC mnemonic for this operation.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IBinKind::Add => "add",
+            IBinKind::Sub => "sub",
+            IBinKind::Mult => "mult",
+            IBinKind::Div => "div",
+            IBinKind::Rem => "rem",
+            IBinKind::And => "and",
+            IBinKind::Or => "or",
+            IBinKind::Xor => "xor",
+            IBinKind::Shl => "lshift",
+            IBinKind::Shr => "rshift",
+        }
+    }
+
+    /// Whether `x OP y == y OP x` for all inputs.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            IBinKind::Add | IBinKind::Mult | IBinKind::And | IBinKind::Or | IBinKind::Xor
+        )
+    }
+
+    /// All kinds, for exhaustive testing.
+    pub const ALL: [IBinKind; 10] = [
+        IBinKind::Add,
+        IBinKind::Sub,
+        IBinKind::Mult,
+        IBinKind::Div,
+        IBinKind::Rem,
+        IBinKind::And,
+        IBinKind::Or,
+        IBinKind::Xor,
+        IBinKind::Shl,
+        IBinKind::Shr,
+    ];
+}
+
+/// Floating-point binary operation kinds.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FBinKind {
+    /// IEEE-754 addition.
+    Add,
+    /// IEEE-754 subtraction.
+    Sub,
+    /// IEEE-754 multiplication.
+    Mult,
+    /// IEEE-754 division.
+    Div,
+}
+
+impl FBinKind {
+    /// The ILOC mnemonic for this operation.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FBinKind::Add => "fadd",
+            FBinKind::Sub => "fsub",
+            FBinKind::Mult => "fmult",
+            FBinKind::Div => "fdiv",
+        }
+    }
+
+    /// Whether the operation is commutative.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, FBinKind::Add | FBinKind::Mult)
+    }
+
+    /// All kinds, for exhaustive testing.
+    pub const ALL: [FBinKind; 4] = [FBinKind::Add, FBinKind::Sub, FBinKind::Mult, FBinKind::Div];
+}
+
+/// Comparison kinds (shared by integer and floating-point compares).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CmpKind {
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl CmpKind {
+    /// The mnemonic suffix (`cmp_LT` style in classic ILOC; we use lowercase).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpKind::Lt => "lt",
+            CmpKind::Le => "le",
+            CmpKind::Gt => "gt",
+            CmpKind::Ge => "ge",
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+        }
+    }
+
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpKind {
+        match self {
+            CmpKind::Lt => CmpKind::Gt,
+            CmpKind::Le => CmpKind::Ge,
+            CmpKind::Gt => CmpKind::Lt,
+            CmpKind::Ge => CmpKind::Le,
+            CmpKind::Eq => CmpKind::Eq,
+            CmpKind::Ne => CmpKind::Ne,
+        }
+    }
+
+    /// The logically negated comparison (`!(a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> CmpKind {
+        match self {
+            CmpKind::Lt => CmpKind::Ge,
+            CmpKind::Le => CmpKind::Gt,
+            CmpKind::Gt => CmpKind::Le,
+            CmpKind::Ge => CmpKind::Lt,
+            CmpKind::Eq => CmpKind::Ne,
+            CmpKind::Ne => CmpKind::Eq,
+        }
+    }
+
+    /// All kinds, for exhaustive testing.
+    pub const ALL: [CmpKind; 6] = [
+        CmpKind::Lt,
+        CmpKind::Le,
+        CmpKind::Gt,
+        CmpKind::Ge,
+        CmpKind::Eq,
+        CmpKind::Ne,
+    ];
+}
+
+/// An ILOC operation.
+///
+/// Main-memory accesses (`Load*`/`Store*`) live in the ordinary address
+/// space and cost two cycles in the paper's machine model. The `Ccm*`
+/// operations access the **compiler-controlled memory**, a small disjoint
+/// address space reached by absolute offsets, and cost a single cycle.
+///
+/// Field meanings follow each variant's doc comment, which gives the full
+/// assembly syntax (destinations after `=>`).
+#[derive(Clone, PartialEq, Debug)]
+#[allow(missing_docs)]
+pub enum Op {
+    /// `loadI imm => dst` — integer constant.
+    LoadI { imm: i64, dst: Reg },
+    /// `loadF imm => dst` — floating-point constant.
+    LoadF { imm: f64, dst: Reg },
+    /// `loadSym @name => dst` — address of a module global.
+    LoadSym { sym: String, dst: Reg },
+
+    /// Integer three-address arithmetic: `kind lhs, rhs => dst`.
+    IBin {
+        kind: IBinKind,
+        lhs: Reg,
+        rhs: Reg,
+        dst: Reg,
+    },
+    /// Integer register-immediate arithmetic: `kindI lhs, imm => dst`.
+    IBinI {
+        kind: IBinKind,
+        lhs: Reg,
+        imm: i64,
+        dst: Reg,
+    },
+    /// Floating-point three-address arithmetic.
+    FBin {
+        kind: FBinKind,
+        lhs: Reg,
+        rhs: Reg,
+        dst: Reg,
+    },
+    /// Integer compare producing 0/1 in an integer register.
+    ICmp {
+        kind: CmpKind,
+        lhs: Reg,
+        rhs: Reg,
+        dst: Reg,
+    },
+    /// Floating-point compare producing 0/1 in an *integer* register.
+    FCmp {
+        kind: CmpKind,
+        lhs: Reg,
+        rhs: Reg,
+        dst: Reg,
+    },
+
+    /// `i2i src => dst` — integer register copy.
+    I2I { src: Reg, dst: Reg },
+    /// `f2f src => dst` — floating-point register copy.
+    F2F { src: Reg, dst: Reg },
+    /// `i2f src => dst` — convert integer to floating point.
+    I2F { src: Reg, dst: Reg },
+    /// `f2i src => dst` — truncate floating point to integer.
+    F2I { src: Reg, dst: Reg },
+
+    /// `load addr => dst` — 4-byte integer load from main memory.
+    Load { addr: Reg, dst: Reg },
+    /// `loadAI addr, off => dst` — integer load at `addr + off`.
+    LoadAI { addr: Reg, off: i64, dst: Reg },
+    /// `store val => addr` — 4-byte integer store to main memory.
+    Store { val: Reg, addr: Reg },
+    /// `storeAI val => addr, off` — integer store at `addr + off`.
+    StoreAI { val: Reg, addr: Reg, off: i64 },
+    /// `fload addr => dst` — 8-byte float load from main memory.
+    FLoad { addr: Reg, dst: Reg },
+    /// `floadAI addr, off => dst` — float load at `addr + off`.
+    FLoadAI { addr: Reg, off: i64, dst: Reg },
+    /// `fstore val => addr` — 8-byte float store to main memory.
+    FStore { val: Reg, addr: Reg },
+    /// `fstoreAI val => addr, off` — float store at `addr + off`.
+    FStoreAI { val: Reg, addr: Reg, off: i64 },
+
+    /// `spill val => ccm[off]` — integer store into the CCM (1 cycle).
+    CcmStore { val: Reg, off: u32 },
+    /// `restore ccm[off] => dst` — integer load from the CCM (1 cycle).
+    CcmLoad { off: u32, dst: Reg },
+    /// `fspill val => ccm[off]` — float store into the CCM (1 cycle).
+    CcmFStore { val: Reg, off: u32 },
+    /// `frestore ccm[off] => dst` — float load from the CCM (1 cycle).
+    CcmFLoad { off: u32, dst: Reg },
+
+    /// `jump -> target`.
+    Jump { target: BlockId },
+    /// `cbr cond -> taken, fallthrough` — branch if `cond != 0`.
+    Cbr {
+        cond: Reg,
+        taken: BlockId,
+        not_taken: BlockId,
+    },
+    /// `call name(args...) => rets...` — direct call.
+    Call {
+        callee: String,
+        args: Vec<Reg>,
+        rets: Vec<Reg>,
+    },
+    /// `ret vals...`.
+    Ret { vals: Vec<Reg> },
+
+    /// SSA φ-node: `dst = φ(block₁: reg₁, …)`. Only present while the
+    /// function is in SSA form.
+    Phi { dst: Reg, args: Vec<(BlockId, Reg)> },
+
+    /// No operation (used transiently by rewriting passes).
+    Nop,
+}
+
+impl Op {
+    /// Whether this operation ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Op::Jump { .. } | Op::Cbr { .. } | Op::Ret { .. })
+    }
+
+    /// Whether this operation touches *main* memory (2-cycle cost in the
+    /// paper's machine model). CCM operations are **not** main-memory ops.
+    pub fn is_main_memory_op(&self) -> bool {
+        matches!(
+            self,
+            Op::Load { .. }
+                | Op::LoadAI { .. }
+                | Op::Store { .. }
+                | Op::StoreAI { .. }
+                | Op::FLoad { .. }
+                | Op::FLoadAI { .. }
+                | Op::FStore { .. }
+                | Op::FStoreAI { .. }
+        )
+    }
+
+    /// Whether this operation touches the compiler-controlled memory.
+    pub fn is_ccm_op(&self) -> bool {
+        matches!(
+            self,
+            Op::CcmStore { .. } | Op::CcmLoad { .. } | Op::CcmFStore { .. } | Op::CcmFLoad { .. }
+        )
+    }
+
+    /// Whether this is a register-to-register copy of either class.
+    pub fn is_copy(&self) -> bool {
+        matches!(self, Op::I2I { .. } | Op::F2F { .. })
+    }
+
+    /// Whether this is a memory *read* (main memory or CCM).
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Op::Load { .. }
+                | Op::LoadAI { .. }
+                | Op::FLoad { .. }
+                | Op::FLoadAI { .. }
+                | Op::CcmLoad { .. }
+                | Op::CcmFLoad { .. }
+        )
+    }
+
+    /// Whether this is a memory *write* (main memory or CCM).
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Op::Store { .. }
+                | Op::StoreAI { .. }
+                | Op::FStore { .. }
+                | Op::FStoreAI { .. }
+                | Op::CcmStore { .. }
+                | Op::CcmFStore { .. }
+        )
+    }
+
+    /// Whether the operation has side effects beyond its register defs
+    /// (stores, calls, control flow) and therefore may not be removed by
+    /// dead-code elimination even if its results are unused.
+    pub fn has_side_effects(&self) -> bool {
+        self.is_store() || matches!(self, Op::Call { .. }) || self.is_terminator()
+    }
+
+    /// Visits every register *used* (read) by this operation.
+    pub fn visit_uses(&self, mut f: impl FnMut(Reg)) {
+        match self {
+            Op::LoadI { .. } | Op::LoadF { .. } | Op::LoadSym { .. } | Op::Nop => {}
+            Op::IBin { lhs, rhs, .. }
+            | Op::FBin { lhs, rhs, .. }
+            | Op::ICmp { lhs, rhs, .. }
+            | Op::FCmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Op::IBinI { lhs, .. } => f(*lhs),
+            Op::I2I { src, .. } | Op::F2F { src, .. } | Op::I2F { src, .. } | Op::F2I { src, .. } => {
+                f(*src)
+            }
+            Op::Load { addr, .. } | Op::FLoad { addr, .. } => f(*addr),
+            Op::LoadAI { addr, .. } | Op::FLoadAI { addr, .. } => f(*addr),
+            Op::Store { val, addr } | Op::FStore { val, addr } => {
+                f(*val);
+                f(*addr);
+            }
+            Op::StoreAI { val, addr, .. } | Op::FStoreAI { val, addr, .. } => {
+                f(*val);
+                f(*addr);
+            }
+            Op::CcmStore { val, .. } | Op::CcmFStore { val, .. } => f(*val),
+            Op::CcmLoad { .. } | Op::CcmFLoad { .. } => {}
+            Op::Jump { .. } => {}
+            Op::Cbr { cond, .. } => f(*cond),
+            Op::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            Op::Ret { vals } => {
+                for v in vals {
+                    f(*v);
+                }
+            }
+            Op::Phi { args, .. } => {
+                for (_, r) in args {
+                    f(*r);
+                }
+            }
+        }
+    }
+
+    /// Visits every register *defined* (written) by this operation.
+    pub fn visit_defs(&self, mut f: impl FnMut(Reg)) {
+        match self {
+            Op::LoadI { dst, .. }
+            | Op::LoadF { dst, .. }
+            | Op::LoadSym { dst, .. }
+            | Op::IBin { dst, .. }
+            | Op::IBinI { dst, .. }
+            | Op::FBin { dst, .. }
+            | Op::ICmp { dst, .. }
+            | Op::FCmp { dst, .. }
+            | Op::I2I { dst, .. }
+            | Op::F2F { dst, .. }
+            | Op::I2F { dst, .. }
+            | Op::F2I { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::LoadAI { dst, .. }
+            | Op::FLoad { dst, .. }
+            | Op::FLoadAI { dst, .. }
+            | Op::CcmLoad { dst, .. }
+            | Op::CcmFLoad { dst, .. }
+            | Op::Phi { dst, .. } => f(*dst),
+            Op::Call { rets, .. } => {
+                for r in rets {
+                    f(*r);
+                }
+            }
+            Op::Store { .. }
+            | Op::StoreAI { .. }
+            | Op::FStore { .. }
+            | Op::FStoreAI { .. }
+            | Op::CcmStore { .. }
+            | Op::CcmFStore { .. }
+            | Op::Jump { .. }
+            | Op::Cbr { .. }
+            | Op::Ret { .. }
+            | Op::Nop => {}
+        }
+    }
+
+    /// Collects the used registers into a vector (convenience wrapper
+    /// around [`Op::visit_uses`]).
+    pub fn uses(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.visit_uses(|r| v.push(r));
+        v
+    }
+
+    /// Collects the defined registers into a vector.
+    pub fn defs(&self) -> Vec<Reg> {
+        let mut v = Vec::new();
+        self.visit_defs(|r| v.push(r));
+        v
+    }
+
+    /// Rewrites every *use* through `f` (register renaming).
+    pub fn map_uses(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        match self {
+            Op::LoadI { .. } | Op::LoadF { .. } | Op::LoadSym { .. } | Op::Nop => {}
+            Op::IBin { lhs, rhs, .. }
+            | Op::FBin { lhs, rhs, .. }
+            | Op::ICmp { lhs, rhs, .. }
+            | Op::FCmp { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Op::IBinI { lhs, .. } => *lhs = f(*lhs),
+            Op::I2I { src, .. } | Op::F2F { src, .. } | Op::I2F { src, .. } | Op::F2I { src, .. } => {
+                *src = f(*src)
+            }
+            Op::Load { addr, .. } | Op::FLoad { addr, .. } => *addr = f(*addr),
+            Op::LoadAI { addr, .. } | Op::FLoadAI { addr, .. } => *addr = f(*addr),
+            Op::Store { val, addr } | Op::FStore { val, addr } => {
+                *val = f(*val);
+                *addr = f(*addr);
+            }
+            Op::StoreAI { val, addr, .. } | Op::FStoreAI { val, addr, .. } => {
+                *val = f(*val);
+                *addr = f(*addr);
+            }
+            Op::CcmStore { val, .. } | Op::CcmFStore { val, .. } => *val = f(*val),
+            Op::CcmLoad { .. } | Op::CcmFLoad { .. } => {}
+            Op::Jump { .. } => {}
+            Op::Cbr { cond, .. } => *cond = f(*cond),
+            Op::Call { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Op::Ret { vals } => {
+                for v in vals {
+                    *v = f(*v);
+                }
+            }
+            Op::Phi { args, .. } => {
+                for (_, r) in args {
+                    *r = f(*r);
+                }
+            }
+        }
+    }
+
+    /// Rewrites every *def* through `f` (register renaming).
+    pub fn map_defs(&mut self, mut f: impl FnMut(Reg) -> Reg) {
+        match self {
+            Op::LoadI { dst, .. }
+            | Op::LoadF { dst, .. }
+            | Op::LoadSym { dst, .. }
+            | Op::IBin { dst, .. }
+            | Op::IBinI { dst, .. }
+            | Op::FBin { dst, .. }
+            | Op::ICmp { dst, .. }
+            | Op::FCmp { dst, .. }
+            | Op::I2I { dst, .. }
+            | Op::F2F { dst, .. }
+            | Op::I2F { dst, .. }
+            | Op::F2I { dst, .. }
+            | Op::Load { dst, .. }
+            | Op::LoadAI { dst, .. }
+            | Op::FLoad { dst, .. }
+            | Op::FLoadAI { dst, .. }
+            | Op::CcmLoad { dst, .. }
+            | Op::CcmFLoad { dst, .. }
+            | Op::Phi { dst, .. } => *dst = f(*dst),
+            Op::Call { rets, .. } => {
+                for r in rets {
+                    *r = f(*r);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Successor blocks named by this operation (empty unless terminator).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Op::Jump { target } => vec![*target],
+            Op::Cbr {
+                taken, not_taken, ..
+            } => vec![*taken, *not_taken],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Rewrites successor block ids through `f` (used by CFG editing).
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Op::Jump { target } => *target = f(*target),
+            Op::Cbr {
+                taken, not_taken, ..
+            } => {
+                *taken = f(*taken);
+                *not_taken = f(*not_taken);
+            }
+            Op::Phi { args, .. } => {
+                for (b, _) in args {
+                    *b = f(*b);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// The register class a destination of this op must have, if the op has
+    /// exactly one destination with a fixed class. Used by the verifier.
+    pub fn fixed_dst_class(&self) -> Option<RegClass> {
+        match self {
+            Op::LoadI { .. }
+            | Op::LoadSym { .. }
+            | Op::IBin { .. }
+            | Op::IBinI { .. }
+            | Op::ICmp { .. }
+            | Op::FCmp { .. }
+            | Op::I2I { .. }
+            | Op::F2I { .. }
+            | Op::Load { .. }
+            | Op::LoadAI { .. }
+            | Op::CcmLoad { .. } => Some(RegClass::Gpr),
+            Op::LoadF { .. }
+            | Op::FBin { .. }
+            | Op::F2F { .. }
+            | Op::I2F { .. }
+            | Op::FLoad { .. }
+            | Op::FLoadAI { .. }
+            | Op::CcmFLoad { .. } => Some(RegClass::Fpr),
+            _ => None,
+        }
+    }
+}
+
+/// An instruction: an [`Op`] plus a spill tag.
+///
+/// The tag records the provenance the paper's techniques rely on: *the
+/// compiler itself inserted spill instructions, so it knows exactly which
+/// memory operations they are*. `SpillKind::Store`/`SpillKind::Restore`
+/// mark the stores/loads the register allocator inserted for a given frame
+/// spill slot; everything else is `SpillKind::None`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Instr {
+    /// The operation.
+    pub op: Op,
+    /// Spill provenance (see [`SpillKind`]).
+    pub spill: SpillKind,
+}
+
+impl Instr {
+    /// An ordinary (non-spill) instruction.
+    pub fn new(op: Op) -> Instr {
+        Instr {
+            op,
+            spill: SpillKind::None,
+        }
+    }
+
+    /// A spill store for `slot`.
+    pub fn spill_store(op: Op, slot: SlotId) -> Instr {
+        Instr {
+            op,
+            spill: SpillKind::Store(slot),
+        }
+    }
+
+    /// A spill restore (reload) for `slot`.
+    pub fn spill_restore(op: Op, slot: SlotId) -> Instr {
+        Instr {
+            op,
+            spill: SpillKind::Restore(slot),
+        }
+    }
+
+    /// The spill slot this instruction accesses, if it is spill code.
+    pub fn spill_slot(&self) -> Option<SlotId> {
+        match self.spill {
+            SpillKind::None => None,
+            SpillKind::Store(s) | SpillKind::Restore(s) => Some(s),
+        }
+    }
+}
+
+impl From<Op> for Instr {
+    fn from(op: Op) -> Instr {
+        Instr::new(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> Reg {
+        Reg::gpr(i)
+    }
+
+    #[test]
+    fn uses_and_defs_of_arith() {
+        let op = Op::IBin {
+            kind: IBinKind::Add,
+            lhs: r(64),
+            rhs: r(65),
+            dst: r(66),
+        };
+        assert_eq!(op.uses(), vec![r(64), r(65)]);
+        assert_eq!(op.defs(), vec![r(66)]);
+    }
+
+    #[test]
+    fn store_has_no_defs() {
+        let op = Op::StoreAI {
+            val: r(64),
+            addr: Reg::RARP,
+            off: 8,
+        };
+        assert!(op.defs().is_empty());
+        assert_eq!(op.uses(), vec![r(64), Reg::RARP]);
+        assert!(op.has_side_effects());
+    }
+
+    #[test]
+    fn ccm_ops_are_not_main_memory() {
+        let s = Op::CcmStore { val: r(64), off: 0 };
+        let l = Op::CcmLoad { off: 0, dst: r(64) };
+        assert!(!s.is_main_memory_op());
+        assert!(!l.is_main_memory_op());
+        assert!(s.is_ccm_op() && l.is_ccm_op());
+        assert!(s.is_store() && l.is_load());
+    }
+
+    #[test]
+    fn main_memory_classification() {
+        let op = Op::FLoadAI {
+            addr: Reg::RARP,
+            off: 16,
+            dst: Reg::fpr(64),
+        };
+        assert!(op.is_main_memory_op());
+        assert!(op.is_load());
+        assert!(!op.is_store());
+    }
+
+    #[test]
+    fn map_uses_renames() {
+        let mut op = Op::IBin {
+            kind: IBinKind::Add,
+            lhs: r(64),
+            rhs: r(64),
+            dst: r(65),
+        };
+        op.map_uses(|x| if x == r(64) { r(99) } else { x });
+        assert_eq!(op.uses(), vec![r(99), r(99)]);
+        assert_eq!(op.defs(), vec![r(65)]);
+    }
+
+    #[test]
+    fn cmp_swapped_negated() {
+        for k in CmpKind::ALL {
+            // Swapping twice and negating twice are identities.
+            assert_eq!(k.swapped().swapped(), k);
+            assert_eq!(k.negated().negated(), k);
+        }
+        assert_eq!(CmpKind::Lt.swapped(), CmpKind::Gt);
+        assert_eq!(CmpKind::Lt.negated(), CmpKind::Ge);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let j = Op::Jump {
+            target: BlockId(3),
+        };
+        assert_eq!(j.successors(), vec![BlockId(3)]);
+        let c = Op::Cbr {
+            cond: r(64),
+            taken: BlockId(1),
+            not_taken: BlockId(2),
+        };
+        assert_eq!(c.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(c.is_terminator());
+        let ret = Op::Ret { vals: vec![] };
+        assert!(ret.is_terminator());
+        assert!(ret.successors().is_empty());
+    }
+
+    #[test]
+    fn copies_are_recognized() {
+        assert!(Op::I2I {
+            src: r(64),
+            dst: r(65)
+        }
+        .is_copy());
+        assert!(!Op::I2F {
+            src: r(64),
+            dst: Reg::fpr(64)
+        }
+        .is_copy());
+    }
+
+    #[test]
+    fn phi_uses_and_successor_mapping() {
+        let mut op = Op::Phi {
+            dst: r(70),
+            args: vec![(BlockId(0), r(64)), (BlockId(1), r(65))],
+        };
+        assert_eq!(op.uses(), vec![r(64), r(65)]);
+        op.map_successors(|b| BlockId(b.0 + 10));
+        if let Op::Phi { args, .. } = &op {
+            assert_eq!(args[0].0, BlockId(10));
+            assert_eq!(args[1].0, BlockId(11));
+        } else {
+            unreachable!()
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Registers and register classes.
+
+use std::fmt;
+
+/// The first virtual-register index.
+///
+/// Indices below this value denote *physical* registers (colors assigned by
+/// the register allocator, plus the reserved activation-record pointer).
+/// Indices at or above it denote virtual registers produced by the front end
+/// and the optimizer.
+pub const FIRST_VREG: u32 = 64;
+
+/// A register class: the machine has disjoint integer and floating-point
+/// register files, mirroring the paper's 32 general-purpose + 32
+/// floating-point register model.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RegClass {
+    /// General-purpose (integer / address) registers, printed `%rN`.
+    Gpr,
+    /// Floating-point registers, printed `%fN`.
+    Fpr,
+}
+
+impl RegClass {
+    /// Both classes, in a fixed order — handy for per-class loops.
+    pub const ALL: [RegClass; 2] = [RegClass::Gpr, RegClass::Fpr];
+
+    /// A small dense index (0 for GPR, 1 for FPR) for per-class tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Gpr => 0,
+            RegClass::Fpr => 1,
+        }
+    }
+
+    /// Size in bytes of a value of this class (`INTEGER` = 4, `REAL*8` = 8),
+    /// matching the Fortran-derived codes of the paper.
+    #[inline]
+    pub fn value_size(self) -> u32 {
+        match self {
+            RegClass::Gpr => 4,
+            RegClass::Fpr => 8,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Gpr => write!(f, "gpr"),
+            RegClass::Fpr => write!(f, "fpr"),
+        }
+    }
+}
+
+/// A register: a class plus an index.
+///
+/// Indices `< FIRST_VREG` are physical; `>= FIRST_VREG` are virtual. The
+/// distinguished register [`Reg::RARP`] (`%r0`) is the activation-record
+/// pointer and is never allocated.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg {
+    class: RegClass,
+    index: u32,
+}
+
+impl Reg {
+    /// The activation-record pointer (frame pointer), `%r0`. Reserved: the
+    /// allocator never assigns it, and spill code addresses the frame
+    /// through it.
+    pub const RARP: Reg = Reg {
+        class: RegClass::Gpr,
+        index: 0,
+    };
+
+    /// Creates a general-purpose register with the given index.
+    #[inline]
+    pub fn gpr(index: u32) -> Reg {
+        Reg {
+            class: RegClass::Gpr,
+            index,
+        }
+    }
+
+    /// Creates a floating-point register with the given index.
+    #[inline]
+    pub fn fpr(index: u32) -> Reg {
+        Reg {
+            class: RegClass::Fpr,
+            index,
+        }
+    }
+
+    /// Creates a register of `class` with the given index.
+    #[inline]
+    pub fn new(class: RegClass, index: u32) -> Reg {
+        Reg { class, index }
+    }
+
+    /// This register's class.
+    #[inline]
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// This register's index within its class.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Whether this is a virtual register (index `>= FIRST_VREG`).
+    #[inline]
+    pub fn is_virtual(self) -> bool {
+        self.index >= FIRST_VREG
+    }
+
+    /// Whether this is a physical register (including [`Reg::RARP`]).
+    #[inline]
+    pub fn is_physical(self) -> bool {
+        !self.is_virtual()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Gpr => write!(f, "%r{}", self.index),
+            RegClass::Fpr => write!(f, "%f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::gpr(3).to_string(), "%r3");
+        assert_eq!(Reg::fpr(64).to_string(), "%f64");
+        assert_eq!(Reg::RARP.to_string(), "%r0");
+    }
+
+    #[test]
+    fn virtual_physical_split() {
+        assert!(Reg::gpr(FIRST_VREG).is_virtual());
+        assert!(Reg::gpr(FIRST_VREG - 1).is_physical());
+        assert!(Reg::RARP.is_physical());
+    }
+
+    #[test]
+    fn value_sizes_match_fortran_model() {
+        assert_eq!(RegClass::Gpr.value_size(), 4);
+        assert_eq!(RegClass::Fpr.value_size(), 8);
+    }
+
+    #[test]
+    fn class_indices_are_dense() {
+        assert_eq!(RegClass::Gpr.index(), 0);
+        assert_eq!(RegClass::Fpr.index(), 1);
+        for (i, c) in RegClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_is_class_then_index() {
+        assert!(Reg::gpr(5) < Reg::fpr(0));
+        assert!(Reg::gpr(1) < Reg::gpr(2));
+    }
+}

@@ -1,0 +1,209 @@
+//! Dead-code elimination (SSA mark-sweep).
+//!
+//! Marks side-effecting instructions (stores, calls, terminators) live and
+//! propagates liveness backwards through SSA use-def edges; everything
+//! unmarked is deleted.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use iloc::{Function, Op, Reg};
+
+/// Removes dead instructions from `f` (must be in SSA form for precise
+/// results; sound on any single-assignment-per-name code). Returns the
+/// number of instructions removed.
+pub fn dce(f: &mut Function) -> usize {
+    // Map each register to its defining site.
+    let mut def_site: HashMap<Reg, (usize, usize)> = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, instr) in b.instrs.iter().enumerate() {
+            instr.op.visit_defs(|r| {
+                def_site.insert(r, (bi, ii));
+            });
+        }
+    }
+
+    let mut live: HashSet<(usize, usize)> = HashSet::new();
+    let mut work: VecDeque<(usize, usize)> = VecDeque::new();
+
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for (ii, instr) in b.instrs.iter().enumerate() {
+            if instr.op.has_side_effects() {
+                live.insert((bi, ii));
+                work.push_back((bi, ii));
+            }
+        }
+    }
+
+    while let Some((bi, ii)) = work.pop_front() {
+        f.blocks[bi].instrs[ii].op.visit_uses(|r| {
+            if let Some(&site) = def_site.get(&r) {
+                if live.insert(site) {
+                    work.push_back(site);
+                }
+            }
+        });
+    }
+
+    let mut removed = 0;
+    for (bi, b) in f.blocks.iter_mut().enumerate() {
+        let before = b.instrs.len();
+        let mut ii = 0;
+        b.instrs.retain(|_| {
+            let keep = live.contains(&(bi, ii));
+            ii += 1;
+            keep
+        });
+        removed += before - b.instrs.len();
+    }
+    removed
+}
+
+/// Removes blocks unreachable from entry, remapping block ids in branch
+/// targets and φ-nodes. Also drops φ-arguments from removed predecessors.
+/// Returns the number of blocks removed.
+pub fn remove_unreachable_blocks(f: &mut Function) -> usize {
+    let reachable: HashSet<usize> = f.reverse_postorder().iter().map(|b| b.index()).collect();
+    let n = f.blocks.len();
+    if reachable.len() == n {
+        return 0;
+    }
+    // Build old→new id map.
+    let mut remap: Vec<Option<u32>> = vec![None; n];
+    let mut next = 0u32;
+    for (i, slot) in remap.iter_mut().enumerate() {
+        if reachable.contains(&i) {
+            *slot = Some(next);
+            next += 1;
+        }
+    }
+    // Drop unreachable blocks.
+    let mut kept = Vec::with_capacity(next as usize);
+    for (i, b) in std::mem::take(&mut f.blocks).into_iter().enumerate() {
+        if reachable.contains(&i) {
+            kept.push(b);
+        }
+    }
+    f.blocks = kept;
+    // Rewrite targets and φs.
+    for b in &mut f.blocks {
+        for instr in &mut b.instrs {
+            if let Op::Phi { args, .. } = &mut instr.op {
+                args.retain(|(p, _)| remap[p.index()].is_some());
+            }
+            instr
+                .op
+                .map_successors(|t| iloc::BlockId(remap[t.index()].expect("reachable target")));
+        }
+    }
+    n - f.blocks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::to_ssa;
+    use iloc::builder::FuncBuilder;
+    use iloc::RegClass;
+
+    #[test]
+    fn removes_unused_computation() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(1);
+        let _dead = fb.mult(a, a); // unused
+        fb.ret(&[a]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        let removed = dce(&mut f);
+        assert_eq!(removed, 1);
+    }
+
+    #[test]
+    fn keeps_transitively_used_chain() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(1);
+        let b = fb.addi(a, 1);
+        let c = fb.addi(b, 1);
+        fb.ret(&[c]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        assert_eq!(dce(&mut f), 0);
+    }
+
+    #[test]
+    fn stores_and_calls_always_kept() {
+        let mut fb = FuncBuilder::new("f");
+        let v = fb.loadi(1);
+        fb.storeai(v, iloc::Reg::RARP, 0);
+        fb.ret(&[]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        assert_eq!(dce(&mut f), 0);
+    }
+
+    #[test]
+    fn dead_chain_removed_together() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let keep = fb.loadi(5);
+        let d1 = fb.loadi(1);
+        let d2 = fb.addi(d1, 1);
+        let _d3 = fb.mult(d2, d2);
+        fb.ret(&[keep]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        assert_eq!(dce(&mut f), 3);
+        assert_eq!(f.instr_count(), 2);
+    }
+
+    #[test]
+    fn unreachable_block_removal_remaps_targets() {
+        let mut fb = FuncBuilder::new("f");
+        let dead = fb.block("dead");
+        let live = fb.block("live");
+        fb.jump(live);
+        fb.switch_to(dead);
+        fb.ret(&[]);
+        fb.switch_to(live);
+        fb.ret(&[]);
+        let mut f = fb.finish();
+        assert_eq!(remove_unreachable_blocks(&mut f), 1);
+        iloc::verify_function(&f).unwrap();
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(f.block(f.successors(f.entry())[0]).label, "live");
+    }
+
+    #[test]
+    fn phi_args_from_removed_preds_dropped() {
+        // After folding a branch, the dead arm's φ-argument must go.
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let x = fb.vreg(RegClass::Gpr);
+        let one = fb.loadi(1);
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let j = fb.block("j");
+        fb.cbr(one, t, e);
+        fb.switch_to(t);
+        fb.emit(Op::LoadI { imm: 10, dst: x });
+        fb.jump(j);
+        fb.switch_to(e);
+        fb.emit(Op::LoadI { imm: 20, dst: x });
+        fb.jump(j);
+        fb.switch_to(j);
+        fb.ret(&[x]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        crate::sccp::sccp(&mut f); // folds the branch, making `e` dead
+        remove_unreachable_blocks(&mut f);
+        iloc::verify_function(&f).unwrap();
+        for b in &f.blocks {
+            for i in &b.instrs {
+                if let Op::Phi { args, .. } = &i.op {
+                    assert_eq!(args.len(), 1);
+                }
+            }
+        }
+    }
+}

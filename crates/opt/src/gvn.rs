@@ -1,0 +1,347 @@
+//! Dominator-based global value numbering on SSA form.
+//!
+//! Walks the dominator tree with a scoped hash table of available
+//! expressions. A recomputation of an expression whose representative
+//! dominates it is deleted and its uses rewritten to the representative.
+//! Commutative operations are canonicalized by sorting operands so
+//! `a + b` and `b + a` share a value number. Copies and φs with identical
+//! arguments are folded into their source.
+
+use std::collections::HashMap;
+
+use analysis::Dominators;
+use iloc::{BlockId, Function, Op, Reg};
+
+/// An expression key: opcode discriminator plus canonicalized operands.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    Int(i64),
+    Float(u64),
+    Sym(String),
+    IBin(iloc::IBinKind, Reg, Reg),
+    IBinI(iloc::IBinKind, Reg, i64),
+    FBin(iloc::FBinKind, Reg, Reg),
+    ICmp(iloc::CmpKind, Reg, Reg),
+    FCmp(iloc::CmpKind, Reg, Reg),
+    I2F(Reg),
+    F2I(Reg),
+}
+
+/// Runs GVN over `f` (must be in SSA form). Returns the number of
+/// redundant instructions removed.
+pub fn gvn(f: &mut Function) -> usize {
+    let dom = Dominators::compute(f);
+    // replacement[r] = canonical value for r (path-compressed on lookup).
+    let mut replacement: HashMap<Reg, Reg> = HashMap::new();
+    // Scoped available-expression table: stack of (key, rep) frames.
+    let mut table: HashMap<Key, Vec<Reg>> = HashMap::new();
+    let mut removed = 0;
+
+    fn resolve(replacement: &HashMap<Reg, Reg>, mut r: Reg) -> Reg {
+        while let Some(&n) = replacement.get(&r) {
+            if n == r {
+                break;
+            }
+            r = n;
+        }
+        r
+    }
+
+    fn walk(
+        f: &mut Function,
+        dom: &Dominators,
+        b: BlockId,
+        replacement: &mut HashMap<Reg, Reg>,
+        table: &mut HashMap<Key, Vec<Reg>>,
+        removed: &mut usize,
+    ) {
+        let mut pushed: Vec<Key> = Vec::new();
+        let n = f.block(b).instrs.len();
+        for i in 0..n {
+            // Rewrite uses through the replacement map first.
+            {
+                let repl = &*replacement;
+                f.block_mut(b).instrs[i].op.map_uses(|r| resolve(repl, r));
+            }
+            let op = f.block(b).instrs[i].op.clone();
+
+            // Copies: dst is just an alias of src.
+            match &op {
+                Op::I2I { src, dst } | Op::F2F { src, dst } => {
+                    replacement.insert(*dst, *src);
+                    f.block_mut(b).instrs[i].op = Op::Nop;
+                    *removed += 1;
+                    continue;
+                }
+                Op::Phi { dst, args } => {
+                    // φ with all-identical arguments (ignoring self) folds.
+                    let mut distinct: Vec<Reg> = Vec::new();
+                    for (_, r) in args {
+                        let r = resolve(replacement, *r);
+                        if r != *dst && !distinct.contains(&r) {
+                            distinct.push(r);
+                        }
+                    }
+                    if distinct.len() == 1 {
+                        replacement.insert(*dst, distinct[0]);
+                        f.block_mut(b).instrs[i].op = Op::Nop;
+                        *removed += 1;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+
+            let key = match &op {
+                Op::LoadI { imm, .. } => Some(Key::Int(*imm)),
+                Op::LoadF { imm, .. } => Some(Key::Float(imm.to_bits())),
+                Op::LoadSym { sym, .. } => Some(Key::Sym(sym.clone())),
+                Op::IBin { kind, lhs, rhs, .. } => {
+                    let (mut a, mut b2) = (*lhs, *rhs);
+                    if kind.is_commutative() && b2 < a {
+                        std::mem::swap(&mut a, &mut b2);
+                    }
+                    Some(Key::IBin(*kind, a, b2))
+                }
+                Op::IBinI { kind, lhs, imm, .. } => Some(Key::IBinI(*kind, *lhs, *imm)),
+                Op::FBin { kind, lhs, rhs, .. } => {
+                    let (mut a, mut b2) = (*lhs, *rhs);
+                    if kind.is_commutative() && b2 < a {
+                        std::mem::swap(&mut a, &mut b2);
+                    }
+                    Some(Key::FBin(*kind, a, b2))
+                }
+                Op::ICmp { kind, lhs, rhs, .. } => Some(Key::ICmp(*kind, *lhs, *rhs)),
+                Op::FCmp { kind, lhs, rhs, .. } => Some(Key::FCmp(*kind, *lhs, *rhs)),
+                Op::I2F { src, .. } => Some(Key::I2F(*src)),
+                Op::F2I { src, .. } => Some(Key::F2I(*src)),
+                // Loads, stores, calls, control flow: not value-numbered
+                // (memory is not tracked).
+                _ => None,
+            };
+
+            if let Some(key) = key {
+                let dst = op.defs()[0];
+                if let Some(rep) = table.get(&key).and_then(|v| v.last()).copied() {
+                    replacement.insert(dst, rep);
+                    f.block_mut(b).instrs[i].op = Op::Nop;
+                    *removed += 1;
+                } else {
+                    table.entry(key.clone()).or_default().push(dst);
+                    pushed.push(key);
+                }
+            }
+        }
+
+        // Also rewrite φ arguments in successors (the use point is the end
+        // of this block, so everything available here applies).
+        for s in f.successors(b) {
+            let phis = f.block(s).phi_count();
+            for i in 0..phis {
+                let repl = &*replacement;
+                if let Op::Phi { args, .. } = &mut f.block_mut(s).instrs[i].op {
+                    for (p, r) in args {
+                        if *p == b {
+                            *r = resolve(repl, *r);
+                        }
+                    }
+                }
+            }
+        }
+
+        for c in dom.children(b).to_vec() {
+            walk(f, dom, c, replacement, table, removed);
+        }
+
+        for key in pushed {
+            table.get_mut(&key).expect("pushed").pop();
+        }
+    }
+
+    walk(f, &dom, f.entry(), &mut replacement, &mut table, &mut removed);
+
+    // Final sweep: resolve any uses recorded before their replacement, and
+    // drop the Nops.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let n = f.block(b).instrs.len();
+        for i in 0..n {
+            let repl = &replacement;
+            f.block_mut(b).instrs[i].op.map_uses(|r| resolve(repl, r));
+        }
+    }
+    f.remove_instrs(|i| matches!(i.op, Op::Nop));
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::to_ssa;
+    use iloc::builder::FuncBuilder;
+    use iloc::{IBinKind, RegClass};
+
+    fn count_op(f: &Function, pred: impl Fn(&Op) -> bool) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| pred(&i.op))
+            .count()
+    }
+
+    #[test]
+    fn duplicate_expression_removed() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr);
+        let q = fb.param(RegClass::Gpr);
+        let a = fb.add(p, q);
+        let b = fb.add(p, q); // redundant
+        let c = fb.mult(a, b);
+        fb.ret(&[c]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        let removed = gvn(&mut f);
+        assert_eq!(removed, 1);
+        assert_eq!(count_op(&f, |o| matches!(o, Op::IBin { kind: IBinKind::Add, .. })), 1);
+    }
+
+    #[test]
+    fn commutative_operands_canonicalized() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr);
+        let q = fb.param(RegClass::Gpr);
+        let a = fb.add(p, q);
+        let b = fb.add(q, p); // same value, swapped operands
+        let c = fb.mult(a, b);
+        fb.ret(&[c]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        assert_eq!(gvn(&mut f), 1);
+    }
+
+    #[test]
+    fn subtraction_not_commuted() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr);
+        let q = fb.param(RegClass::Gpr);
+        let a = fb.sub(p, q);
+        let b = fb.sub(q, p); // different value!
+        let c = fb.mult(a, b);
+        fb.ret(&[c]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        assert_eq!(gvn(&mut f), 0);
+    }
+
+    #[test]
+    fn duplicate_constants_merged() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(42);
+        let b = fb.loadi(42);
+        let c = fb.add(a, b);
+        fb.ret(&[c]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        assert_eq!(gvn(&mut f), 1);
+        assert_eq!(count_op(&f, |o| matches!(o, Op::LoadI { .. })), 1);
+    }
+
+    #[test]
+    fn expression_not_reused_across_siblings() {
+        // Compute p*p in both arms of a diamond: neither dominates the
+        // other, so GVN must keep both.
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr);
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let j = fb.block("j");
+        let cond = fb.param(RegClass::Gpr);
+        fb.cbr(cond, t, e);
+        fb.switch_to(t);
+        let x = fb.mult(p, p);
+        fb.storeai(x, iloc::Reg::RARP, 0);
+        fb.jump(j);
+        fb.switch_to(e);
+        let y = fb.mult(p, p);
+        fb.storeai(y, iloc::Reg::RARP, 0);
+        fb.jump(j);
+        fb.switch_to(j);
+        let r = fb.loadi(0);
+        fb.ret(&[r]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        gvn(&mut f);
+        assert_eq!(
+            count_op(&f, |o| matches!(o, Op::IBin { kind: IBinKind::Mult, .. })),
+            2,
+            "sibling blocks must not share:\n{f}"
+        );
+    }
+
+    #[test]
+    fn dominating_expression_reused_downstream() {
+        // p*p computed before the branch is reused in an arm.
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr);
+        let cond = fb.param(RegClass::Gpr);
+        let x = fb.mult(p, p);
+        let t = fb.block("t");
+        let e = fb.block("e");
+        fb.cbr(cond, t, e);
+        fb.switch_to(t);
+        let y = fb.mult(p, p); // redundant with x
+        let s = fb.add(x, y);
+        fb.ret(&[s]);
+        fb.switch_to(e);
+        fb.ret(&[x]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        assert_eq!(gvn(&mut f), 1);
+    }
+
+    #[test]
+    fn copies_are_folded() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr);
+        let c = fb.copy(p);
+        let d = fb.copy(c);
+        let s = fb.add(d, p);
+        fb.ret(&[s]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        let removed = gvn(&mut f);
+        assert_eq!(removed, 2);
+        // The add must now use p twice.
+        let ok = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            if let Op::IBin { lhs, rhs, .. } = i.op {
+                lhs == rhs
+            } else {
+                false
+            }
+        });
+        assert!(ok, "copy chain should collapse to p:\n{f}");
+    }
+
+    #[test]
+    fn loads_never_value_numbered() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr);
+        let a = fb.loadai(p, 0);
+        let store_val = fb.loadi(1);
+        fb.storeai(store_val, p, 0);
+        let b = fb.loadai(p, 0); // NOT redundant: store intervened
+        let c = fb.add(a, b);
+        fb.ret(&[c]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        gvn(&mut f);
+        assert_eq!(count_op(&f, |o| matches!(o, Op::LoadAI { .. })), 2);
+    }
+}

@@ -1,0 +1,557 @@
+//! Sparse conditional constant propagation (Wegman–Zadeck) on SSA form.
+//!
+//! Runs the classic two-worklist algorithm over the constant lattice
+//! ⊤ → const → ⊥, simultaneously tracking CFG edge executability so
+//! constants propagate through φ-nodes only along executable edges.
+//! Afterwards, constant-valued instructions are rewritten to `loadI` /
+//! `loadF` and conditional branches on known conditions become jumps.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use iloc::{BlockId, CmpKind, FBinKind, Function, IBinKind, Op, Reg};
+
+/// A lattice value.
+#[derive(Copy, Clone, PartialEq, Debug)]
+enum Lattice {
+    /// Undetermined (optimistic).
+    Top,
+    /// A known integer constant.
+    Int(i64),
+    /// A known float constant.
+    Float(f64),
+    /// Known to vary.
+    Bottom,
+}
+
+impl Lattice {
+    fn meet(self, other: Lattice) -> Lattice {
+        use Lattice::*;
+        match (self, other) {
+            (Top, x) | (x, Top) => x,
+            (Int(a), Int(b)) if a == b => Int(a),
+            (Float(a), Float(b)) if a.to_bits() == b.to_bits() => Float(a),
+            _ => Bottom,
+        }
+    }
+}
+
+/// Evaluates an integer binary op on constants; `None` means the result
+/// must be treated as varying (e.g., division by zero traps at run time).
+fn eval_ibin(kind: IBinKind, a: i64, b: i64) -> Option<i64> {
+    // Mirror the machine's 32-bit integer semantics exactly (see
+    // `sim::machine`): results wrap to 32 bits, kept sign-extended.
+    let (a, b) = (a as i32, b as i32);
+    let r: i32 = match kind {
+        IBinKind::Add => a.wrapping_add(b),
+        IBinKind::Sub => a.wrapping_sub(b),
+        IBinKind::Mult => a.wrapping_mul(b),
+        IBinKind::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        IBinKind::Rem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        IBinKind::And => a & b,
+        IBinKind::Or => a | b,
+        IBinKind::Xor => a ^ b,
+        IBinKind::Shl => a.wrapping_shl(b as u32),
+        IBinKind::Shr => a.wrapping_shr(b as u32),
+    };
+    Some(r as i64)
+}
+
+fn eval_fbin(kind: FBinKind, a: f64, b: f64) -> f64 {
+    match kind {
+        FBinKind::Add => a + b,
+        FBinKind::Sub => a - b,
+        FBinKind::Mult => a * b,
+        FBinKind::Div => a / b,
+    }
+}
+
+fn eval_icmp(kind: CmpKind, a: i64, b: i64) -> i64 {
+    let r = match kind {
+        CmpKind::Lt => a < b,
+        CmpKind::Le => a <= b,
+        CmpKind::Gt => a > b,
+        CmpKind::Ge => a >= b,
+        CmpKind::Eq => a == b,
+        CmpKind::Ne => a != b,
+    };
+    r as i64
+}
+
+fn eval_fcmp(kind: CmpKind, a: f64, b: f64) -> i64 {
+    let r = match kind {
+        CmpKind::Lt => a < b,
+        CmpKind::Le => a <= b,
+        CmpKind::Gt => a > b,
+        CmpKind::Ge => a >= b,
+        CmpKind::Eq => a == b,
+        CmpKind::Ne => a != b,
+    };
+    r as i64
+}
+
+/// Runs SCCP over `f` (which must be in SSA form) and rewrites what it
+/// proves constant. Returns the number of instructions rewritten.
+pub fn sccp(f: &mut Function) -> usize {
+    let mut value: HashMap<Reg, Lattice> = HashMap::new();
+    // Parameters and anything not otherwise defined are varying.
+    for &p in &f.params {
+        value.insert(p, Lattice::Bottom);
+    }
+
+    // Map from each register to the (block, index) of its single SSA def
+    // and to its use sites.
+    let du = analysis::DefUse::build(f);
+
+    let mut exec_edge: HashSet<(BlockId, BlockId)> = HashSet::new();
+    let mut exec_block: HashSet<BlockId> = HashSet::new();
+    let mut cfg_work: VecDeque<(Option<BlockId>, BlockId)> = VecDeque::new();
+    let mut ssa_work: VecDeque<Reg> = VecDeque::new();
+    cfg_work.push_back((None, f.entry()));
+
+    let lat = |value: &HashMap<Reg, Lattice>, r: Reg| -> Lattice {
+        if !r.is_virtual() {
+            return Lattice::Bottom;
+        }
+        value.get(&r).copied().unwrap_or(Lattice::Top)
+    };
+
+    // Evaluates one instruction, returning the new lattice values of its
+    // defs and (for terminators) which successor edges become executable.
+    let eval = |f: &Function,
+                value: &HashMap<Reg, Lattice>,
+                exec_edge: &HashSet<(BlockId, BlockId)>,
+                b: BlockId,
+                i: usize|
+     -> (Vec<(Reg, Lattice)>, Vec<BlockId>) {
+        let op = &f.block(b).instrs[i].op;
+        let mut defs = Vec::new();
+        let mut succs = Vec::new();
+        match op {
+            Op::LoadI { imm, dst } => defs.push((*dst, Lattice::Int(*imm as i32 as i64))),
+            Op::LoadF { imm, dst } => defs.push((*dst, Lattice::Float(*imm))),
+            Op::IBin { kind, lhs, rhs, dst } => {
+                let v = match (lat(value, *lhs), lat(value, *rhs)) {
+                    (Lattice::Int(a), Lattice::Int(b)) => {
+                        eval_ibin(*kind, a, b).map_or(Lattice::Bottom, Lattice::Int)
+                    }
+                    (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
+                    _ => Lattice::Bottom,
+                };
+                defs.push((*dst, v));
+            }
+            Op::IBinI { kind, lhs, imm, dst } => {
+                let v = match lat(value, *lhs) {
+                    Lattice::Int(a) => {
+                        eval_ibin(*kind, a, *imm).map_or(Lattice::Bottom, Lattice::Int)
+                    }
+                    Lattice::Top => Lattice::Top,
+                    _ => Lattice::Bottom,
+                };
+                defs.push((*dst, v));
+            }
+            Op::FBin { kind, lhs, rhs, dst } => {
+                let v = match (lat(value, *lhs), lat(value, *rhs)) {
+                    (Lattice::Float(a), Lattice::Float(b)) => {
+                        Lattice::Float(eval_fbin(*kind, a, b))
+                    }
+                    (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
+                    _ => Lattice::Bottom,
+                };
+                defs.push((*dst, v));
+            }
+            Op::ICmp { kind, lhs, rhs, dst } => {
+                let v = match (lat(value, *lhs), lat(value, *rhs)) {
+                    (Lattice::Int(a), Lattice::Int(b)) => Lattice::Int(eval_icmp(*kind, a, b)),
+                    (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
+                    _ => Lattice::Bottom,
+                };
+                defs.push((*dst, v));
+            }
+            Op::FCmp { kind, lhs, rhs, dst } => {
+                let v = match (lat(value, *lhs), lat(value, *rhs)) {
+                    (Lattice::Float(a), Lattice::Float(b)) => Lattice::Int(eval_fcmp(*kind, a, b)),
+                    (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
+                    _ => Lattice::Bottom,
+                };
+                defs.push((*dst, v));
+            }
+            Op::I2I { src, dst } | Op::F2F { src, dst } => {
+                defs.push((*dst, lat(value, *src)));
+            }
+            Op::I2F { src, dst } => {
+                let v = match lat(value, *src) {
+                    Lattice::Int(a) => Lattice::Float(a as f64),
+                    Lattice::Top => Lattice::Top,
+                    _ => Lattice::Bottom,
+                };
+                defs.push((*dst, v));
+            }
+            Op::F2I { src, dst } => {
+                let v = match lat(value, *src) {
+                    Lattice::Float(a) => Lattice::Int(a as i32 as i64),
+                    Lattice::Top => Lattice::Top,
+                    _ => Lattice::Bottom,
+                };
+                defs.push((*dst, v));
+            }
+            Op::Phi { dst, args } => {
+                let mut acc = Lattice::Top;
+                for (p, r) in args {
+                    if exec_edge.contains(&(*p, b)) {
+                        acc = acc.meet(lat(value, *r));
+                    }
+                }
+                defs.push((*dst, acc));
+            }
+            Op::Jump { target } => succs.push(*target),
+            Op::Cbr {
+                cond,
+                taken,
+                not_taken,
+            } => match lat(value, *cond) {
+                Lattice::Int(0) => succs.push(*not_taken),
+                Lattice::Int(_) => succs.push(*taken),
+                Lattice::Top => {}
+                _ => {
+                    succs.push(*taken);
+                    succs.push(*not_taken);
+                }
+            },
+            // Everything else (loads, calls, …) defines ⊥.
+            other => {
+                other.visit_defs(|r| defs.push((r, Lattice::Bottom)));
+            }
+        }
+        (defs, succs)
+    };
+
+    // Main propagation loop.
+    while !cfg_work.is_empty() || !ssa_work.is_empty() {
+        while let Some((from, to)) = cfg_work.pop_front() {
+            if let Some(fr) = from {
+                if !exec_edge.insert((fr, to)) {
+                    continue;
+                }
+            }
+            let first_visit = exec_block.insert(to);
+            // (Re)evaluate φs always; the rest of the block on first visit.
+            let n = f.block(to).instrs.len();
+            for i in 0..n {
+                let is_phi = matches!(f.block(to).instrs[i].op, Op::Phi { .. });
+                if !first_visit && !is_phi {
+                    continue;
+                }
+                let (defs, succs) = eval(f, &value, &exec_edge, to, i);
+                for (r, v) in defs {
+                    let old = lat(&value, r);
+                    let new = old.meet(v);
+                    if new != old {
+                        value.insert(r, new);
+                        ssa_work.push_back(r);
+                    }
+                }
+                for s in succs {
+                    cfg_work.push_back((Some(to), s));
+                }
+            }
+        }
+        while let Some(r) = ssa_work.pop_front() {
+            for site in du.uses(r).to_vec() {
+                if !exec_block.contains(&site.block) {
+                    continue;
+                }
+                let (defs, succs) = eval(f, &value, &exec_edge, site.block, site.index);
+                for (d, v) in defs {
+                    let old = lat(&value, d);
+                    let new = old.meet(v);
+                    if new != old {
+                        value.insert(d, new);
+                        ssa_work.push_back(d);
+                    }
+                }
+                for s in succs {
+                    cfg_work.push_back((Some(site.block), s));
+                }
+            }
+        }
+    }
+
+    // Rewrite pass: materialize constants, fold known branches.
+    let mut rewritten = 0;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let n = f.block(b).instrs.len();
+        for i in 0..n {
+            let op = f.block(b).instrs[i].op.clone();
+            if op.has_side_effects() && !matches!(op, Op::Cbr { .. }) {
+                continue;
+            }
+            match &op {
+                Op::Cbr {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    if let Lattice::Int(c) = lat(&value, *cond) {
+                        let target = if c != 0 { *taken } else { *not_taken };
+                        f.block_mut(b).instrs[i].op = Op::Jump { target };
+                        rewritten += 1;
+                    }
+                }
+                Op::LoadI { .. } | Op::LoadF { .. } => {}
+                other => {
+                    let defs = other.defs();
+                    if defs.len() != 1 {
+                        continue;
+                    }
+                    let dst = defs[0];
+                    match lat(&value, dst) {
+                        Lattice::Int(c) => {
+                            f.block_mut(b).instrs[i].op = Op::LoadI { imm: c, dst };
+                            rewritten += 1;
+                        }
+                        Lattice::Float(c) => {
+                            f.block_mut(b).instrs[i].op = Op::LoadF { imm: c, dst };
+                            rewritten += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // A φ rewritten into a constant load may now sit between other
+        // φ-nodes, violating the φs-lead-the-block invariant. The
+        // materialized constants read no registers, so stably moving the
+        // remaining φs back to the head is safe.
+        let instrs = &mut f.block_mut(b).instrs;
+        if instrs
+            .iter()
+            .skip(instrs.iter().take_while(|i| matches!(i.op, Op::Phi { .. })).count())
+            .any(|i| matches!(i.op, Op::Phi { .. }))
+        {
+            let (phis, rest): (Vec<_>, Vec<_>) = std::mem::take(instrs)
+                .into_iter()
+                .partition(|i| matches!(i.op, Op::Phi { .. }));
+            *instrs = phis.into_iter().chain(rest).collect();
+        }
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::to_ssa;
+    use iloc::builder::FuncBuilder;
+    use iloc::RegClass;
+
+    #[test]
+    fn folds_straightline_arithmetic() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(6);
+        let b = fb.loadi(7);
+        let c = fb.mult(a, b);
+        fb.ret(&[c]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        let n = sccp(&mut f);
+        assert!(n >= 1);
+        // The mult must have become loadI 42.
+        let found = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(i.op, Op::LoadI { imm: 42, .. })
+        });
+        assert!(found, "expected folded 42:\n{f}");
+    }
+
+    #[test]
+    fn folds_branch_on_constant_condition() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let one = fb.loadi(1);
+        let two = fb.loadi(2);
+        let c = fb.icmp(CmpKind::Lt, one, two); // always true
+        let t = fb.block("t");
+        let e = fb.block("e");
+        fb.cbr(c, t, e);
+        fb.switch_to(t);
+        let x = fb.loadi(10);
+        fb.ret(&[x]);
+        fb.switch_to(e);
+        let y = fb.loadi(20);
+        fb.ret(&[y]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        sccp(&mut f);
+        // Entry's terminator must now be an unconditional jump to `t`.
+        let term = f.block(f.entry()).terminator().unwrap().clone();
+        match term {
+            Op::Jump { target } => assert_eq!(f.block(target).label, "t"),
+            other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_survives_diamond_when_arms_agree() {
+        // x = 5 on both arms → φ is 5.
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr); // unknown condition
+        let x = fb.vreg(RegClass::Gpr);
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let j = fb.block("j");
+        fb.cbr(p, t, e);
+        fb.switch_to(t);
+        fb.emit(Op::LoadI { imm: 5, dst: x });
+        fb.jump(j);
+        fb.switch_to(e);
+        fb.emit(Op::LoadI { imm: 5, dst: x });
+        fb.jump(j);
+        fb.switch_to(j);
+        let y = fb.addi(x, 1);
+        fb.ret(&[y]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        sccp(&mut f);
+        let found = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(i.op, Op::LoadI { imm: 6, .. })
+        });
+        assert!(found, "expected x+1 folded to 6:\n{f}");
+    }
+
+    #[test]
+    fn disagreeing_arms_stay_varying() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr);
+        let x = fb.vreg(RegClass::Gpr);
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let j = fb.block("j");
+        fb.cbr(p, t, e);
+        fb.switch_to(t);
+        fb.emit(Op::LoadI { imm: 5, dst: x });
+        fb.jump(j);
+        fb.switch_to(e);
+        fb.emit(Op::LoadI { imm: 9, dst: x });
+        fb.jump(j);
+        fb.switch_to(j);
+        let y = fb.addi(x, 1);
+        fb.ret(&[y]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        sccp(&mut f);
+        // No folded 6 or 10 — the add must remain.
+        let still_add = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.op, Op::IBinI { kind: IBinKind::Add, .. }));
+        assert!(still_add);
+    }
+
+    #[test]
+    fn unreachable_arm_does_not_pollute_phi() {
+        // cond is constant false → only the else arm's value reaches the φ.
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let zero = fb.loadi(0);
+        let x = fb.vreg(RegClass::Gpr);
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let j = fb.block("j");
+        fb.cbr(zero, t, e);
+        fb.switch_to(t);
+        fb.emit(Op::LoadI { imm: 111, dst: x });
+        fb.jump(j);
+        fb.switch_to(e);
+        fb.emit(Op::LoadI { imm: 5, dst: x });
+        fb.jump(j);
+        fb.switch_to(j);
+        let y = fb.addi(x, 1);
+        fb.ret(&[y]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        sccp(&mut f);
+        let found = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(i.op, Op::LoadI { imm: 6, .. })
+        });
+        assert!(found, "φ should see only the executable arm:\n{f}");
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(1);
+        let z = fb.loadi(0);
+        let q = fb.idiv(a, z);
+        fb.ret(&[q]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        sccp(&mut f);
+        let still_div = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.op, Op::IBin { kind: IBinKind::Div, .. }));
+        assert!(still_div, "div by zero must not be folded away");
+    }
+}
+
+#[cfg(test)]
+mod phi_prefix_tests {
+    use super::*;
+    use analysis::to_ssa;
+    use iloc::builder::FuncBuilder;
+    use iloc::RegClass;
+
+    /// A block with two φs where the first folds to a constant: the
+    /// surviving φ must still lead the block (regression test for the
+    /// φ-prefix invariant).
+    #[test]
+    fn folding_one_of_two_phis_keeps_prefix() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr, RegClass::Gpr]);
+        let p = fb.param(RegClass::Gpr); // unknown
+        let a = fb.vreg(RegClass::Gpr); // constant on both arms → folds
+        let b = fb.vreg(RegClass::Gpr); // differs per arm → stays a φ
+        let t = fb.block("t");
+        let e = fb.block("e");
+        let j = fb.block("j");
+        fb.cbr(p, t, e);
+        fb.switch_to(t);
+        fb.emit(Op::LoadI { imm: 7, dst: a });
+        fb.emit(Op::LoadI { imm: 1, dst: b });
+        fb.jump(j);
+        fb.switch_to(e);
+        fb.emit(Op::LoadI { imm: 7, dst: a });
+        fb.emit(Op::LoadI { imm: 2, dst: b });
+        fb.jump(j);
+        fb.switch_to(j);
+        let s = fb.add(a, b);
+        fb.ret(&[s, a]);
+        let mut f = fb.finish();
+        to_ssa(&mut f);
+        sccp(&mut f);
+        iloc::verify_function(&f).expect("phi prefix intact");
+        // And destruction still works.
+        analysis::from_ssa(&mut f);
+        iloc::verify_function(&f).unwrap();
+        for blk in &f.blocks {
+            for i in &blk.instrs {
+                assert!(!matches!(i.op, Op::Phi { .. }), "leftover phi");
+            }
+        }
+    }
+}

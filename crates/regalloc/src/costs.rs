@@ -1,0 +1,153 @@
+//! Chaitin-style spill-cost estimation.
+
+use std::collections::{HashMap, HashSet};
+
+use analysis::{Dominators, LoopInfo};
+use iloc::{Function, Reg};
+
+/// Spill costs per register: the estimated dynamic cost of spilling the
+/// live range, `Σ 10^loopdepth` over its definitions and uses.
+#[derive(Clone, Debug)]
+pub struct SpillCosts {
+    costs: HashMap<Reg, f64>,
+}
+
+/// Cost value treated as unspillable (spill temporaries, tiny ranges).
+pub const INFINITE: f64 = f64::INFINITY;
+
+impl SpillCosts {
+    /// Computes costs for every virtual register in `f`.
+    ///
+    /// `unspillable` registers (the short-lived temporaries created by
+    /// earlier spill insertion) get infinite cost, as do "tiny" ranges
+    /// whose def and sole use are adjacent — respilling those would
+    /// generate as much traffic as it removes. Registers in `remat` (cheap
+    /// to recompute) get half cost, biasing the allocator toward spilling
+    /// them first, as in Briggs' allocator.
+    pub fn compute_with_remat(
+        f: &Function,
+        unspillable: &HashSet<Reg>,
+        remat: &HashSet<Reg>,
+    ) -> SpillCosts {
+        let dom = Dominators::compute(f);
+        let loops = LoopInfo::compute(f, &dom);
+
+        let mut costs: HashMap<Reg, f64> = HashMap::new();
+        // (block, index) of single def / single use for tininess check.
+        let mut sites: HashMap<Reg, Vec<(usize, usize, bool)>> = HashMap::new();
+
+        for b in f.block_ids() {
+            let w = loops.weight(b);
+            for (i, instr) in f.block(b).instrs.iter().enumerate() {
+                instr.op.visit_defs(|r| {
+                    if r.is_virtual() {
+                        *costs.entry(r).or_insert(0.0) += w;
+                        sites.entry(r).or_default().push((b.index(), i, true));
+                    }
+                });
+                instr.op.visit_uses(|r| {
+                    if r.is_virtual() {
+                        *costs.entry(r).or_insert(0.0) += w;
+                        sites.entry(r).or_default().push((b.index(), i, false));
+                    }
+                });
+            }
+        }
+
+        for (r, s) in &sites {
+            if unspillable.contains(r) {
+                costs.insert(*r, INFINITE);
+                continue;
+            }
+            if remat.contains(r) {
+                if let Some(c) = costs.get_mut(r) {
+                    *c *= 0.5;
+                }
+                continue; // never "tiny": remat spilling is always cheap
+            }
+            // Tiny range: one def at (b, i), one use at (b, i+1).
+            if s.len() == 2 {
+                let def = s.iter().find(|x| x.2);
+                let use_ = s.iter().find(|x| !x.2);
+                if let (Some(&(db, di, _)), Some(&(ub, ui, _))) = (def, use_) {
+                    if db == ub && ui == di + 1 {
+                        costs.insert(*r, INFINITE);
+                    }
+                }
+            }
+        }
+
+        SpillCosts { costs }
+    }
+
+    /// Computes costs with no rematerialization candidates.
+    pub fn compute(f: &Function, unspillable: &HashSet<Reg>) -> SpillCosts {
+        SpillCosts::compute_with_remat(f, unspillable, &HashSet::new())
+    }
+
+    /// The cost of spilling `r` (0 if the register never appears).
+    pub fn cost(&self, r: Reg) -> f64 {
+        self.costs.get(&r).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc::builder::FuncBuilder;
+    use iloc::{Op, RegClass};
+
+    #[test]
+    fn loop_references_cost_ten_times_more() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let outside = fb.loadi(1); // def at depth 0
+        let acc = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 0, dst: acc });
+        fb.counted_loop(0, 10, 1, |fb, _| {
+            let t = fb.add(acc, outside); // use of `outside` at depth 1
+            fb.emit(Op::I2I { src: t, dst: acc });
+        });
+        fb.ret(&[acc]);
+        let f = fb.finish();
+        let costs = SpillCosts::compute(&f, &HashSet::new());
+        // outside: def (w=1) + one use at depth 1 (w=10) = 11.
+        assert_eq!(costs.cost(outside), 11.0);
+    }
+
+    #[test]
+    fn unspillable_set_is_infinite() {
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(1);
+        let b = fb.addi(a, 1);
+        let c = fb.add(b, b); // b used twice later → not tiny
+        let d = fb.add(c, b);
+        fb.ret(&[d]);
+        let f = fb.finish();
+        let mut unspillable = HashSet::new();
+        unspillable.insert(b);
+        let costs = SpillCosts::compute(&f, &unspillable);
+        assert_eq!(costs.cost(b), INFINITE);
+        // Without the unspillable mark, b's cost would be finite.
+        let plain = SpillCosts::compute(&f, &HashSet::new());
+        assert!(plain.cost(b).is_finite());
+    }
+
+    #[test]
+    fn tiny_range_is_infinite() {
+        // a defined then immediately consumed by the next instruction and
+        // never touched again — spilling it cannot help.
+        let mut fb = FuncBuilder::new("f");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(1);
+        let b = fb.addi(a, 1); // immediate, only use of a
+        let c = fb.addi(b, 1);
+        let d = fb.add(c, b); // b used again later → b is NOT tiny
+        fb.ret(&[d]);
+        let f = fb.finish();
+        let costs = SpillCosts::compute(&f, &HashSet::new());
+        assert_eq!(costs.cost(a), INFINITE);
+        assert!(costs.cost(b).is_finite());
+    }
+}

@@ -1,0 +1,271 @@
+//! Basic-block dependence DAGs.
+//!
+//! Edges capture every ordering constraint a scheduler must respect:
+//! register RAW/WAR/WAW, conservative memory ordering (a main-memory
+//! store orders against every other main-memory access; loads may pass
+//! loads), CCM ordering (same rules, but **only within the CCM** — the
+//! disjoint address space means CCM traffic never orders against main
+//! memory, one more way the architecture helps the scheduler), calls as
+//! full barriers, and the terminator last.
+
+use std::collections::HashMap;
+
+use iloc::{Block, Op, Reg};
+
+/// The dependence DAG of one basic block.
+#[derive(Debug)]
+pub struct Dag {
+    /// `succs[i]` — instructions that must come after instruction `i`.
+    pub succs: Vec<Vec<usize>>,
+    /// Number of unscheduled predecessors per instruction.
+    pub preds_remaining: Vec<usize>,
+    /// Critical-path priority of each instruction (latency-weighted
+    /// longest path to the end of the block).
+    pub priority: Vec<u64>,
+}
+
+/// The latency model used for priorities: main-memory ops take
+/// `mem_latency`, everything else one cycle.
+pub fn latency(op: &Op, mem_latency: u64) -> u64 {
+    if op.is_main_memory_op() {
+        mem_latency
+    } else {
+        1
+    }
+}
+
+impl Dag {
+    /// Builds the DAG for `block`.
+    pub fn build(block: &Block, mem_latency: u64) -> Dag {
+        let n = block.instrs.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>| {
+            debug_assert!(from < to);
+            if !succs[from].contains(&to) {
+                succs[from].push(to);
+            }
+        };
+
+        // Register dependences: last def and last uses per register.
+        let mut last_def: HashMap<Reg, usize> = HashMap::new();
+        let mut uses_since_def: HashMap<Reg, Vec<usize>> = HashMap::new();
+        // Memory ordering state.
+        let mut last_mem_store: Option<usize> = None;
+        let mut mem_loads_since_store: Vec<usize> = Vec::new();
+        let mut last_ccm_store: Option<usize> = None;
+        let mut ccm_loads_since_store: Vec<usize> = Vec::new();
+        let mut last_barrier: Option<usize> = None;
+
+        for (i, instr) in block.instrs.iter().enumerate() {
+            let op = &instr.op;
+
+            // RAW: uses depend on the last def.
+            op.visit_uses(|r| {
+                if let Some(&d) = last_def.get(&r) {
+                    edge(d, i, &mut succs);
+                }
+                uses_since_def.entry(r).or_default().push(i);
+            });
+            // WAR + WAW for each def.
+            op.visit_defs(|r| {
+                if let Some(us) = uses_since_def.get(&r) {
+                    for &u in us {
+                        if u < i {
+                            edge(u, i, &mut succs);
+                        }
+                    }
+                }
+                if let Some(&d) = last_def.get(&r) {
+                    edge(d, i, &mut succs);
+                }
+            });
+            op.visit_defs(|r| {
+                last_def.insert(r, i);
+                uses_since_def.insert(r, Vec::new());
+            });
+
+            // Barriers: calls and terminators order against everything.
+            let is_barrier = matches!(op, Op::Call { .. }) || op.is_terminator();
+            if is_barrier {
+                for j in 0..i {
+                    edge(j, i, &mut succs);
+                }
+                last_barrier = Some(i);
+                // Reset memory state (the barrier dominates it).
+                last_mem_store = None;
+                mem_loads_since_store.clear();
+                last_ccm_store = None;
+                ccm_loads_since_store.clear();
+                continue;
+            }
+            if let Some(b) = last_barrier {
+                edge(b, i, &mut succs);
+            }
+
+            // Main-memory ordering (conservative: no alias analysis).
+            if op.is_main_memory_op() {
+                if op.is_store() {
+                    if let Some(s) = last_mem_store {
+                        edge(s, i, &mut succs);
+                    }
+                    for &l in &mem_loads_since_store {
+                        edge(l, i, &mut succs);
+                    }
+                    last_mem_store = Some(i);
+                    mem_loads_since_store.clear();
+                } else {
+                    if let Some(s) = last_mem_store {
+                        edge(s, i, &mut succs);
+                    }
+                    mem_loads_since_store.push(i);
+                }
+            }
+            // CCM ordering — disjoint from main memory by construction.
+            if op.is_ccm_op() {
+                if op.is_store() {
+                    if let Some(s) = last_ccm_store {
+                        edge(s, i, &mut succs);
+                    }
+                    for &l in &ccm_loads_since_store {
+                        edge(l, i, &mut succs);
+                    }
+                    last_ccm_store = Some(i);
+                    ccm_loads_since_store.clear();
+                } else {
+                    if let Some(s) = last_ccm_store {
+                        edge(s, i, &mut succs);
+                    }
+                    ccm_loads_since_store.push(i);
+                }
+            }
+        }
+
+        let mut preds_remaining = vec![0usize; n];
+        for ss in &succs {
+            for &t in ss {
+                preds_remaining[t] += 1;
+            }
+        }
+
+        // Critical-path priorities, computed bottom-up.
+        let mut priority = vec![0u64; n];
+        for i in (0..n).rev() {
+            let lat = latency(&block.instrs[i].op, mem_latency);
+            let best_succ = succs[i].iter().map(|&s| priority[s]).max().unwrap_or(0);
+            priority[i] = lat + best_succ;
+        }
+
+        Dag {
+            succs,
+            preds_remaining,
+            priority,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iloc::builder::FuncBuilder;
+    use iloc::RegClass;
+
+    fn block_of(build: impl FnOnce(&mut FuncBuilder)) -> Block {
+        let mut fb = FuncBuilder::new("f");
+        build(&mut fb);
+        fb.ret(&[]);
+        fb.finish().blocks[0].clone()
+    }
+
+    #[test]
+    fn raw_dependence() {
+        let b = block_of(|fb| {
+            let a = fb.loadi(1); // 0
+            let _ = fb.addi(a, 1); // 1 depends on 0
+        });
+        let dag = Dag::build(&b, 2);
+        assert!(dag.succs[0].contains(&1));
+        assert_eq!(dag.preds_remaining[0], 0);
+    }
+
+    #[test]
+    fn war_and_waw_dependences() {
+        let mut fb = FuncBuilder::new("f");
+        let a = fb.vreg(RegClass::Gpr);
+        let b = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 1, dst: a }); // 0
+        fb.emit(Op::IBinI {
+            kind: iloc::IBinKind::Add,
+            lhs: a,
+            imm: 1,
+            dst: b,
+        }); // 1 reads a
+        fb.emit(Op::LoadI { imm: 2, dst: a }); // 2: WAR vs 1, WAW vs 0
+        fb.ret(&[]);
+        let blk = fb.finish().blocks[0].clone();
+        let dag = Dag::build(&blk, 2);
+        assert!(dag.succs[1].contains(&2), "WAR edge");
+        assert!(dag.succs[0].contains(&2), "WAW edge");
+    }
+
+    #[test]
+    fn loads_pass_loads_but_not_stores() {
+        let b = block_of(|fb| {
+            let base = fb.loadsym("g"); // 0
+            let _l1 = fb.loadai(base, 0); // 1
+            let _l2 = fb.loadai(base, 8); // 2: no edge from 1
+            let v = fb.loadi(9); // 3
+            fb.storeai(v, base, 0); // 4: ordered after 1 and 2
+            let _l3 = fb.loadai(base, 0); // 5: ordered after 4
+        });
+        let dag = Dag::build(&b, 2);
+        assert!(!dag.succs[1].contains(&2));
+        assert!(dag.succs[1].contains(&4));
+        assert!(dag.succs[2].contains(&4));
+        assert!(dag.succs[4].contains(&5));
+    }
+
+    #[test]
+    fn ccm_and_main_memory_do_not_order() {
+        let b = block_of(|fb| {
+            let base = fb.loadsym("g"); // 0
+            let v = fb.loadi(1); // 1
+            fb.storeai(v, base, 0); // 2: main-memory store
+            fb.emit(Op::CcmStore { val: v, off: 0 }); // 3: CCM store
+            let r = fb.vreg(RegClass::Gpr);
+            fb.emit(Op::CcmLoad { off: 0, dst: r }); // 4: after 3 only
+        });
+        let dag = Dag::build(&b, 2);
+        assert!(
+            !dag.succs[2].contains(&3),
+            "disjoint address spaces do not order"
+        );
+        assert!(dag.succs[3].contains(&4));
+    }
+
+    #[test]
+    fn calls_are_full_barriers() {
+        let b = block_of(|fb| {
+            let base = fb.loadsym("g"); // 0
+            let _l = fb.loadai(base, 0); // 1
+            fb.call("h", &[], &[]); // 2: after everything
+            let _l2 = fb.loadai(base, 0); // 3: after the call
+        });
+        let dag = Dag::build(&b, 2);
+        assert!(dag.succs[0].contains(&2));
+        assert!(dag.succs[1].contains(&2));
+        assert!(dag.succs[2].contains(&3));
+    }
+
+    #[test]
+    fn priorities_reflect_critical_path() {
+        let b = block_of(|fb| {
+            let base = fb.loadsym("g"); // 0
+            let l = fb.loadai(base, 0); // 1 (latency 2)
+            let _ = fb.addi(l, 1); // 2
+        });
+        let dag = Dag::build(&b, 2);
+        // Path 0 → 1 → 2 → ret: priorities strictly decrease along it.
+        assert!(dag.priority[0] > dag.priority[1]);
+        assert!(dag.priority[1] > dag.priority[2]);
+    }
+}

@@ -1,0 +1,946 @@
+//! The kernel generators: synthetic analogs of the paper's test routines.
+//!
+//! The paper's suite is 122 Fortran routines (Forsythe's numerical
+//! methods, SPEC '89, SPEC '95), 59 of which spill. We cannot ship that
+//! Fortran, so each kernel here reproduces the *code shape* that made its
+//! namesake interesting to a register allocator: FFTPACK radix butterflies
+//! (`radf5`, `radb4`, …) with their dense constant matrices, `fpppp`-style
+//! enormous straight-line blocks, `tomcatv`-style stencils, Forsythe's
+//! `decomp`/`solve`/`zeroin` with values live across calls, and so on.
+//! Register pressure is dialed per kernel via the width of the value
+//! network each iteration keeps live, spanning the same spectrum from
+//! "no spills" to "heavy spilling" as the original suite. Kernels whose
+//! namesakes were loop-transformed for prefetching (the `X` suffix in the
+//! paper) are registered twice: once plain, once with the unrolling
+//! transformation that stands in for those pressure-raising transforms.
+
+use iloc::builder::FuncBuilder;
+use iloc::{CmpKind, Global, Module, Op, Reg, RegClass};
+
+use crate::gen::{checksum_and_ret, f64_global, float_net, BuilderExt, Lcg};
+
+/// A suite entry: a named module generator plus metadata.
+#[derive(Clone)]
+pub struct Kernel {
+    /// Routine name (paper-analog, e.g. `radf5`). `X`-suffixed entries are
+    /// the loop-transformed high-pressure variants.
+    pub name: &'static str,
+    /// One-line description of which paper routine this stands in for.
+    pub analog: &'static str,
+    /// Unroll factor to apply during optimization (the `X` transform).
+    pub unroll: Option<u32>,
+    /// Builds the (unoptimized, unallocated) module. Entry is `main`,
+    /// which returns a single float checksum.
+    pub build: fn() -> Module,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("unroll", &self.unroll)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic shapes
+// ---------------------------------------------------------------------------
+
+/// A "value network" kernel: `phases` sequential loops, each of `blocks`
+/// iterations loading `width` floats, mixing them for `depth` rounds
+/// (everything simultaneously live), and storing them back in place.
+/// Peak float pressure ≈ `width`. Separate phases create spill slots with
+/// *disjoint* lifetimes — the raw material for Table 1's compaction.
+fn net_kernel(width: usize, depth: usize, blocks: usize, phases: usize, seed: u64) -> Module {
+    let len = width * blocks;
+    let mut m = Module::new();
+    m.push_global(f64_global("a", len, seed));
+
+    let mut k = FuncBuilder::new("kern");
+    let src = k.loadsym("a");
+    for phase in 0..phases {
+        k.counted_loop(0, blocks as i64, 1, |fb, iv| {
+            let base = fb.multi(iv, (width * 8) as i64);
+            float_net(fb, src, src, base, width, depth, seed ^ (phase as u64 * 0x9e37));
+        });
+    }
+    k.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("kern", &[], &[]);
+    checksum_and_ret(&mut main, "a", len);
+
+    m.push_function(k.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// Like [`net_kernel`], but each block calls a helper routine *mid-phase*
+/// while all `width` network values are live — so the spilled values'
+/// slots are live across the call. This is the shape where the paper's
+/// three methods separate: the intraprocedural post-pass must leave the
+/// call-crossing slots in main memory, the interprocedural variant places
+/// them above the helper's CCM high-water mark, and the integrated
+/// allocator (conservatively intraprocedural) behaves like the first.
+/// The helper itself spills, so its high-water mark is nonzero.
+fn net_call_kernel(
+    width: usize,
+    depth: usize,
+    blocks: usize,
+    phases: usize,
+    helper_width: usize,
+    seed: u64,
+) -> Module {
+    let len = width * blocks;
+    let mut m = Module::new();
+    m.push_global(f64_global("a", len, seed));
+    m.push_global(f64_global("hc", helper_width, seed ^ 5));
+
+    // aux(x): wide polynomial evaluation — spills on its own.
+    let mut h = FuncBuilder::new("aux");
+    let x = h.param(RegClass::Fpr);
+    h.set_ret_classes(&[RegClass::Fpr]);
+    // Normalize the argument to |xn| ≤ 1/2 so the polynomial below stays
+    // bounded no matter how the caller's network values grow.
+    let one = h.loadf(1.0);
+    let xx = h.fmult(x, x);
+    let denom0 = h.fadd(xx, one);
+    let xn = h.fdiv(x, denom0);
+    let cb = h.loadsym("hc");
+    let mut terms = Vec::with_capacity(helper_width);
+    for j in 0..helper_width {
+        let c = h.floadai(cb, (j * 8) as i64);
+        terms.push(h.fmult(c, xn));
+    }
+    let mut acc = h.loadf(0.0);
+    for t in terms {
+        let s2 = h.fmult(acc, xn);
+        acc = h.fadd(s2, t);
+    }
+    let xn2 = h.fmult(xn, xn);
+    let denom = h.fadd(xn2, one);
+    let r = h.fdiv(acc, denom);
+    h.ret(&[r]);
+
+    let mut k = FuncBuilder::new("kern");
+    let src = k.loadsym("a");
+    let mut lcg = Lcg::new(seed ^ 0x77);
+    for phase in 0..phases {
+        let phase_seed = seed ^ (phase as u64 * 0x9e37);
+        k.counted_loop(0, blocks as i64, 1, |fb, iv| {
+            let base = fb.multi(iv, (width * 8) as i64);
+            // Load the whole network.
+            let mut vals: Vec<Reg> = (0..width)
+                .map(|j| fb.floadai_indexed(src, base, (j * 8) as i64))
+                .collect();
+            let mut inner = Lcg::new(phase_seed ^ 0x51);
+            let rounds_before = depth / 2;
+            for _ in 0..rounds_before {
+                let mut next = Vec::with_capacity(width);
+                for j in 0..width {
+                    let c = fb.loadf(0.5 + 0.01 * (inner.next_f64().abs() + 0.001));
+                    let t = fb.fmult(vals[j], c);
+                    next.push(fb.fadd(t, vals[(j + 1) % width]));
+                }
+                vals = next;
+            }
+            // Call the helper while everything is live.
+            let r = fb.call("aux", &[vals[0]], &[RegClass::Fpr])[0];
+            vals[0] = fb.fadd(vals[0], r);
+            for _ in rounds_before..depth {
+                let mut next = Vec::with_capacity(width);
+                for j in 0..width {
+                    let c = fb.loadf(0.5 + 0.01 * (inner.next_f64().abs() + 0.001));
+                    let t = fb.fmult(vals[j], c);
+                    next.push(fb.fadd(t, vals[(j + 1) % width]));
+                }
+                vals = next;
+            }
+            for (j, v) in vals.iter().enumerate() {
+                fb.fstoreai_indexed(src, base, (j * 8) as i64, *v);
+            }
+        });
+        let _ = lcg.next_u64();
+    }
+    k.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("kern", &[], &[]);
+    checksum_and_ret(&mut main, "a", len);
+
+    m.push_function(h.finish());
+    m.push_function(k.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// An FFTPACK-style radix-`k` butterfly pass over `blocks` groups, each
+/// holding `lanes` independent sets of `k` complex points (FFTPACK's
+/// inner `ido` loop, unrolled). All lanes' inputs are loaded before any
+/// output is computed, as FFTPACK does, so peak float pressure is about
+/// `2·k·lanes` plus the accumulators.
+fn radix_kernel(k: usize, lanes: usize, blocks: usize, forward: bool, seed: u64) -> Module {
+    let group = 2 * k * lanes;
+    let len = group * blocks;
+    let mut m = Module::new();
+    m.push_global(f64_global("a", len, seed));
+    m.push_global(Global::zeroed("out", (len * 8) as u32));
+
+    let mut f = FuncBuilder::new("pass");
+    let src = f.loadsym("a");
+    let dst = f.loadsym("out");
+    let sign = if forward { -1.0 } else { 1.0 };
+    f.counted_loop(0, blocks as i64, 1, |fb, iv| {
+        let base = fb.multi(iv, (group * 8) as i64);
+        // Load every lane's k complex inputs up front.
+        let mut re = vec![Vec::with_capacity(k); lanes];
+        let mut im = vec![Vec::with_capacity(k); lanes];
+        for l in 0..lanes {
+            for j in 0..k {
+                let at = ((l * k + j) * 16) as i64;
+                re[l].push(fb.floadai_indexed(src, base, at));
+                im[l].push(fb.floadai_indexed(src, base, at + 8));
+            }
+        }
+        // Dense DFT-style combination per lane.
+        for l in 0..lanes {
+            for j in 0..k {
+                let mut acc_r = fb.loadf(0.0);
+                let mut acc_i = fb.loadf(0.0);
+                for i in 0..k {
+                    let ang = sign * 2.0 * std::f64::consts::PI * (i * j) as f64 / k as f64;
+                    let (xr, xi) = (re[l][i], im[l][i]);
+                    let c = fb.loadf(ang.cos());
+                    let sn = fb.loadf(ang.sin());
+                    let t1 = fb.fmult(c, xr);
+                    let t2 = fb.fmult(sn, xi);
+                    let t3 = fb.fsub(t1, t2);
+                    acc_r = fb.fadd(acc_r, t3);
+                    let t4 = fb.fmult(sn, xr);
+                    let t5 = fb.fmult(c, xi);
+                    let t6 = fb.fadd(t4, t5);
+                    acc_i = fb.fadd(acc_i, t6);
+                }
+                let at = ((l * k + j) * 16) as i64;
+                fb.fstoreai_indexed(dst, base, at, acc_r);
+                fb.fstoreai_indexed(dst, base, at + 8, acc_i);
+            }
+        }
+    });
+    f.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("pass", &[], &[]);
+    checksum_and_ret(&mut main, "out", len);
+
+    m.push_function(f.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// A 2-D 9-point stencil over an `n×n` grid (`tomcatv`/`smooth` shape).
+fn stencil_kernel(n: usize, sweeps: usize, extra_terms: usize, seed: u64) -> Module {
+    let len = n * n;
+    let mut m = Module::new();
+    m.push_global(f64_global("grid", len, seed));
+    m.push_global(Global::zeroed("out", (len * 8) as u32));
+
+    let mut f = FuncBuilder::new("relax");
+    let src = f.loadsym("grid");
+    let dst = f.loadsym("out");
+    let mut lcg = Lcg::new(seed ^ 0xabcd);
+    let coeffs: Vec<f64> = (0..9 + extra_terms).map(|_| lcg.next_f64() * 0.2).collect();
+    for _ in 0..sweeps {
+        f.counted_loop(1, (n - 1) as i64, 1, |fb, i| {
+            let row = fb.multi(i, (n * 8) as i64);
+            fb.counted_loop(1, (n - 1) as i64, 1, |fb, j| {
+                let col = fb.shli(j, 3);
+                let at = fb.add(row, col);
+                // Load the whole 9-point neighborhood plus the extra
+                // operands first (tomcatv computes several derived
+                // quantities per point), then combine — everything stays
+                // live simultaneously.
+                let mut vals = Vec::new();
+                for di in [-(n as i64), 0, n as i64] {
+                    for dj in [-1i64, 0, 1] {
+                        vals.push(fb.floadai_indexed(src, at, (di + dj) * 8));
+                    }
+                }
+                for e in 0..extra_terms {
+                    let off = ((e as i64 % 5) - 2) * 8;
+                    vals.push(fb.floadai_indexed(src, at, off));
+                }
+                let mut terms = Vec::new();
+                for (ci, v) in vals.iter().enumerate() {
+                    let c = fb.loadf(coeffs[ci]);
+                    terms.push(fb.fmult(*v, c));
+                }
+                let mut acc = fb.loadf(0.0);
+                for t in terms {
+                    acc = fb.fadd(acc, t);
+                }
+                fb.fstoreai_indexed(dst, at, 0, acc);
+            });
+        });
+    }
+    f.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("relax", &[], &[]);
+    checksum_and_ret(&mut main, "out", len);
+
+    m.push_function(f.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// Forsythe-style `decomp`: LU factorization with partial pivoting on an
+/// `n×n` system, followed by `solve`. Exercises mixed int/float pressure
+/// and multi-routine structure.
+fn decomp_kernel(n: usize, seed: u64) -> Module {
+    let mut m = Module::new();
+    // Diagonally dominant matrix for stability.
+    let mut lcg = Lcg::new(seed);
+    let mut a = vec![0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = lcg.next_f64();
+        }
+        a[i * n + i] += n as f64;
+    }
+    let mut mat = Vec::new();
+    for v in &a {
+        mat.extend_from_slice(&v.to_le_bytes());
+    }
+    m.push_global(Global {
+        name: "a".into(),
+        size: (n * n * 8) as u32,
+        init: mat,
+    });
+    m.push_global(f64_global("b", n, seed ^ 1));
+    m.push_global(Global::zeroed("out", (n * 8) as u32));
+
+    // decomp: in-place LU without pivot search (diagonally dominant).
+    let mut d = FuncBuilder::new("decomp");
+    let base = d.loadsym("a");
+    d.counted_loop(0, n as i64 - 1, 1, |fb, kk| {
+        let krow = fb.multi(kk, (n * 8) as i64);
+        let kdiag_off = fb.shli(kk, 3);
+        let kaddr = fb.add(krow, kdiag_off);
+        let pivot = fb.floadai_indexed(base, kaddr, 0);
+        fb.counted_loop(0, n as i64, 1, |fb, i| {
+            // Only rows i > k update; guard with a branch.
+            let cond = fb.icmp(CmpKind::Gt, i, kk);
+            let do_row = fb.block(format!("row_{}", fb.current().index()));
+            let skip = fb.block(format!("skip_{}", fb.current().index()));
+            fb.cbr(cond, do_row, skip);
+            fb.switch_to(do_row);
+            let irow = fb.multi(i, (n * 8) as i64);
+            let ikaddr = fb.add(irow, kdiag_off);
+            let aik = fb.floadai_indexed(base, ikaddr, 0);
+            let mult = fb.fdiv(aik, pivot);
+            fb.fstoreai_indexed(base, ikaddr, 0, mult);
+            fb.counted_loop(0, n as i64, 1, |fb, j| {
+                let inner = fb.icmp(CmpKind::Gt, j, kk);
+                let upd = fb.block(format!("upd_{}", fb.current().index()));
+                let nop = fb.block(format!("nup_{}", fb.current().index()));
+                fb.cbr(inner, upd, nop);
+                fb.switch_to(upd);
+                let joff = fb.shli(j, 3);
+                let kjaddr = fb.add(krow, joff);
+                let akj = fb.floadai_indexed(base, kjaddr, 0);
+                let ijaddr = fb.add(irow, joff);
+                let aij = fb.floadai_indexed(base, ijaddr, 0);
+                let prod = fb.fmult(mult, akj);
+                let newv = fb.fsub(aij, prod);
+                fb.fstoreai_indexed(base, ijaddr, 0, newv);
+                fb.jump(nop);
+                fb.switch_to(nop);
+            });
+            fb.jump(skip);
+            fb.switch_to(skip);
+        });
+    });
+    d.ret(&[]);
+
+    // solve: forward then back substitution into `out`.
+    let mut s = FuncBuilder::new("solve");
+    let abase = s.loadsym("a");
+    let bbase = s.loadsym("b");
+    let xbase = s.loadsym("out");
+    // copy b into out
+    s.counted_loop(0, n as i64, 1, |fb, i| {
+        let off = fb.shli(i, 3);
+        let v = fb.floadai_indexed(bbase, off, 0);
+        fb.fstoreai_indexed(xbase, off, 0, v);
+    });
+    // forward: x[i] -= l[i][k] * x[k] for k < i
+    s.counted_loop(0, n as i64, 1, |fb, i| {
+        let irow = fb.multi(i, (n * 8) as i64);
+        let ioff = fb.shli(i, 3);
+        fb.counted_loop(0, n as i64, 1, |fb, kk| {
+            let c = fb.icmp(CmpKind::Lt, kk, i);
+            let go = fb.block(format!("fw_{}", fb.current().index()));
+            let skip = fb.block(format!("fs_{}", fb.current().index()));
+            fb.cbr(c, go, skip);
+            fb.switch_to(go);
+            let koff = fb.shli(kk, 3);
+            let lik_addr = fb.add(irow, koff);
+            let lik = fb.floadai_indexed(abase, lik_addr, 0);
+            let xk = fb.floadai_indexed(xbase, koff, 0);
+            let xi = fb.floadai_indexed(xbase, ioff, 0);
+            let prod = fb.fmult(lik, xk);
+            let nv = fb.fsub(xi, prod);
+            fb.fstoreai_indexed(xbase, ioff, 0, nv);
+            fb.jump(skip);
+            fb.switch_to(skip);
+        });
+    });
+    // backward: x[i] = (x[i] - Σ u[i][k] x[k]) / u[i][i], i from n-1 down
+    s.counted_loop((n - 1) as i64, -1, -1, |fb, i| {
+        let irow = fb.multi(i, (n * 8) as i64);
+        let ioff = fb.shli(i, 3);
+        fb.counted_loop(0, n as i64, 1, |fb, kk| {
+            let c = fb.icmp(CmpKind::Gt, kk, i);
+            let go = fb.block(format!("bw_{}", fb.current().index()));
+            let skip = fb.block(format!("bs_{}", fb.current().index()));
+            fb.cbr(c, go, skip);
+            fb.switch_to(go);
+            let koff = fb.shli(kk, 3);
+            let uik_addr = fb.add(irow, koff);
+            let uik = fb.floadai_indexed(abase, uik_addr, 0);
+            let xk = fb.floadai_indexed(xbase, koff, 0);
+            let xi = fb.floadai_indexed(xbase, ioff, 0);
+            let prod = fb.fmult(uik, xk);
+            let nv = fb.fsub(xi, prod);
+            fb.fstoreai_indexed(xbase, ioff, 0, nv);
+            fb.jump(skip);
+            fb.switch_to(skip);
+        });
+        let diag_addr = fb.add(irow, ioff);
+        let uii = fb.floadai_indexed(abase, diag_addr, 0);
+        let xi = fb.floadai_indexed(xbase, ioff, 0);
+        let nv = fb.fdiv(xi, uii);
+        fb.fstoreai_indexed(xbase, ioff, 0, nv);
+    });
+    s.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("decomp", &[], &[]);
+    main.call("solve", &[], &[]);
+    checksum_and_ret(&mut main, "out", n);
+
+    m.push_function(d.finish());
+    m.push_function(s.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// `zeroin`/`fmin` shape: an iterative driver keeping several values live
+/// across repeated calls to an evaluation routine. This is the stress
+/// case for the conservative intraprocedural CCM rule.
+fn caller_pressure_kernel(evals: usize, poly_width: usize, driver_width: usize, seed: u64) -> Module {
+    let mut m = Module::new();
+    m.push_global(f64_global("coef", poly_width.max(driver_width), seed));
+    m.push_global(Global::zeroed("out", 16));
+
+    // feval(x): a polynomial-network evaluation, itself fairly wide.
+    let mut fe = FuncBuilder::new("feval");
+    let x = fe.param(RegClass::Fpr);
+    fe.set_ret_classes(&[RegClass::Fpr]);
+    // Normalize to |xn| ≤ 1/2 so the iteration in the driver never
+    // overflows, no matter how the interval wanders.
+    let one = fe.loadf(1.0);
+    let xx = fe.fmult(x, x);
+    let denom0 = fe.fadd(xx, one);
+    let xn = fe.fdiv(x, denom0);
+    let cbase = fe.loadsym("coef");
+    let mut vals = Vec::new();
+    for j in 0..poly_width {
+        let c = fe.floadai(cbase, (j * 8) as i64);
+        vals.push(fe.fmult(c, xn));
+    }
+    // Horner-ish reduction keeping all terms live first.
+    let mut acc = fe.loadf(0.0);
+    for v in vals {
+        let t = fe.fmult(acc, xn);
+        acc = fe.fadd(t, v);
+    }
+    let xn2 = fe.fmult(xn, xn);
+    let denom = fe.fadd(xn2, one);
+    let out = fe.fdiv(acc, denom);
+    fe.ret(&[out]);
+
+    // Driver: secant-style iteration with many live-across-call values.
+    let mut dr = FuncBuilder::new("driver");
+    dr.set_ret_classes(&[]);
+    let out = dr.loadsym("out");
+    let mut lcg = Lcg::new(seed ^ 0xfeed);
+    let a0 = dr.loadf(lcg.next_f64());
+    let b0 = dr.loadf(lcg.next_f64() + 2.0);
+    let av = dr.vreg(RegClass::Fpr);
+    let bv = dr.vreg(RegClass::Fpr);
+    dr.emit(Op::F2F { src: a0, dst: av });
+    dr.emit(Op::F2F { src: b0, dst: bv });
+    let tol = dr.loadf(1e-9);
+    let half = dr.loadf(0.5);
+    // Driver-resident state: `driver_width` values loaded once and kept
+    // live across every call in the loop — the spill slots that the
+    // intraprocedural CCM rule must refuse.
+    let dcoef = dr.loadsym("coef");
+    let resident: Vec<Reg> = (0..driver_width)
+        .map(|j| dr.floadai(dcoef, (j * 8) as i64))
+        .collect();
+    dr.counted_loop(0, evals as i64, 1, |fb, _| {
+        let fa = fb.call("feval", &[av], &[RegClass::Fpr])[0];
+        let fbv = fb.call("feval", &[bv], &[RegClass::Fpr])[0];
+        let sum = fb.fadd(av, bv);
+        let mid = fb.fmult(sum, half);
+        let fm = fb.call("feval", &[mid], &[RegClass::Fpr])[0];
+        // new interval biased by fa/fb magnitudes (keeps fa, fb, tol,
+        // half, av, bv live across the calls).
+        let d1 = fb.fsub(fa, fm);
+        let d2 = fb.fsub(fbv, fm);
+        let w1 = fb.fmult(d1, tol);
+        let w2 = fb.fmult(d2, tol);
+        let na = fb.fadd(mid, w1);
+        let nb = fb.fadd(mid, w2);
+        // Mix the resident state into the interval update so it stays
+        // live across the calls.
+        let mut adj = fb.fmult(fm, tol);
+        for v in &resident {
+            let t = fb.fmult(*v, tol);
+            adj = fb.fadd(adj, t);
+        }
+        let na2 = fb.fadd(na, adj);
+        fb.emit(Op::F2F { src: na2, dst: av });
+        fb.emit(Op::F2F { src: nb, dst: bv });
+    });
+    let diff = dr.fsub(bv, av);
+    dr.fstoreai(diff, out, 0);
+    dr.fstoreai(av, out, 8);
+    dr.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("driver", &[], &[]);
+    checksum_and_ret(&mut main, "out", 2);
+
+    m.push_function(fe.finish());
+    m.push_function(dr.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// Particle-push shape (`parmvr`/`parmve`): gather by index, update with
+/// field values, scatter back.
+fn particle_kernel(particles: usize, fields: usize, comps: usize, seed: u64) -> Module {
+    let mut m = Module::new();
+    m.push_global(f64_global("pos", particles, seed));
+    m.push_global(f64_global("vel", particles, seed ^ 2));
+    m.push_global(f64_global("fld", fields * comps, seed ^ 3));
+    m.push_global(crate::gen::i32_global("idx", particles, fields as u32, seed ^ 4));
+    m.push_global(Global::zeroed("out", (particles * 8) as u32));
+
+    let mut f = FuncBuilder::new("push");
+    let pos = f.loadsym("pos");
+    let vel = f.loadsym("vel");
+    let fld = f.loadsym("fld");
+    let idx = f.loadsym("idx");
+    let out = f.loadsym("out");
+    let dt = f.loadf(0.01);
+    f.counted_loop(0, particles as i64, 1, |fb, i| {
+        let i4 = fb.shli(i, 2);
+        let cell = fb.loadai_indexed(idx, i4, 0);
+        let cb = fb.multi(cell, (comps * 8) as i64);
+        // Load every field component of this cell up front.
+        let mut fvals = Vec::new();
+        for c in 0..comps {
+            fvals.push(fb.floadai_indexed(fld, cb, (c * 8) as i64));
+        }
+        let i8 = fb.shli(i, 3);
+        let p = fb.floadai_indexed(pos, i8, 0);
+        let v = fb.floadai_indexed(vel, i8, 0);
+        // Force = weighted field mix (keeps all comps live).
+        let mut force = fb.loadf(0.0);
+        for (c, comp) in fvals.iter().enumerate() {
+            let w = fb.loadf(0.1 + c as f64 * 0.05);
+            let t = fb.fmult(*comp, w);
+            force = fb.fadd(force, t);
+        }
+        let dv = fb.fmult(force, dt);
+        let nv = fb.fadd(v, dv);
+        let dx = fb.fmult(nv, dt);
+        let np = fb.fadd(p, dx);
+        fb.fstoreai_indexed(out, i8, 0, np);
+    });
+    f.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("push", &[], &[]);
+    checksum_and_ret(&mut main, "out", particles);
+
+    m.push_function(f.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// An integer-pressure kernel (`urand` + hashing shape): a network of
+/// integer state registers updated for several rounds per element.
+fn int_kernel(width: usize, rounds: usize, elems: usize, seed: u64) -> Module {
+    let mut m = Module::new();
+    m.push_global(crate::gen::i32_global("iv", width * elems, 1 << 30, seed));
+    m.push_global(Global::zeroed("iout", (width * elems * 4) as u32));
+    m.push_global(Global::zeroed("out", 8));
+
+    let mut f = FuncBuilder::new("mix");
+    let src = f.loadsym("iv");
+    let dst = f.loadsym("iout");
+    f.counted_loop(0, elems as i64, 1, |fb, e| {
+        let base = fb.multi(e, (width * 4) as i64);
+        let mut vals = Vec::new();
+        for j in 0..width {
+            vals.push(fb.loadai_indexed(src, base, (j * 4) as i64));
+        }
+        let mut lcg = Lcg::new(seed ^ 0x1234);
+        for _ in 0..rounds {
+            let mut next = Vec::new();
+            for j in 0..width {
+                let c = fb.loadi((lcg.next_range(997) + 3) as i64);
+                let t = fb.mult(vals[j], c);
+                next.push(fb.add(t, vals[(j + 1) % width]));
+            }
+            vals = next;
+        }
+        for (j, v) in vals.iter().enumerate() {
+            fb.storeai_indexed(dst, base, (j * 4) as i64, *v);
+        }
+    });
+    f.ret(&[]);
+
+    // main sums iout as floats via conversion into `out`.
+    let mut main = FuncBuilder::new("main");
+    main.call("mix", &[], &[]);
+    main.set_ret_classes(&[RegClass::Fpr]);
+    let dst = main.loadsym("iout");
+    let out = main.loadsym("out");
+    let acc = main.vreg(RegClass::Fpr);
+    main.emit(Op::LoadF { imm: 0.0, dst: acc });
+    main.counted_loop(0, (width * elems) as i64, 1, |fb, i| {
+        let off = fb.shli(i, 2);
+        let v = fb.loadai_indexed(dst, off, 0);
+        let vf = fb.i2f(v);
+        let t = fb.fadd(acc, vf);
+        fb.emit(Op::F2F { src: t, dst: acc });
+    });
+    main.fstoreai(acc, out, 0);
+    main.ret(&[acc]);
+
+    m.push_function(f.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// A "monolith" kernel: one enormous expression in which every loaded
+/// value is live from the top of the block to near the bottom (each value
+/// is used once early and once late, in reverse order, so every pair of
+/// live ranges — and hence every pair of spill slots — overlaps at the
+/// block's midpoint). These are the routines on which spill-memory
+/// compaction can find nothing to share: the paper's `paroi`, `inisla`,
+/// `energyx`, and `pdiagX`.
+fn monolith_kernel(width: usize, blocks: usize, seed: u64) -> Module {
+    let len = width * blocks;
+    let mut m = Module::new();
+    m.push_global(f64_global("a", len, seed));
+    m.push_global(Global::zeroed("out", (blocks * 8) as u32));
+
+    let mut f = FuncBuilder::new("kern");
+    let src = f.loadsym("a");
+    let dst = f.loadsym("out");
+    f.counted_loop(0, blocks as i64, 1, |fb, iv| {
+        let base = fb.multi(iv, (width * 8) as i64);
+        let vals: Vec<Reg> = (0..width)
+            .map(|j| fb.floadai_indexed(src, base, (j * 8) as i64))
+            .collect();
+        // First pass: forward reduction.
+        let mut acc = fb.loadf(0.0);
+        for v in &vals {
+            acc = fb.fadd(acc, *v);
+        }
+        // Second pass: reverse-order products — every value stays live
+        // until here.
+        let scale = fb.loadf(1e-3);
+        let small = fb.fmult(acc, scale);
+        let mut acc2 = fb.loadf(1.0);
+        for v in vals.iter().rev() {
+            let t = fb.fadd(*v, small);
+            let u = fb.fmult(acc2, scale);
+            acc2 = fb.fadd(u, t);
+        }
+        let off = fb.shli(iv, 3);
+        fb.fstoreai_indexed(dst, off, 0, acc2);
+    });
+    f.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("kern", &[], &[]);
+    checksum_and_ret(&mut main, "out", blocks);
+
+    m.push_function(f.finish());
+    m.push_function(main.finish());
+    m
+}
+
+/// A light copy/pack kernel (`getb`/`putb`/`efill` shape): little
+/// pressure, no spills expected — the suite needs non-spilling routines
+/// too (63 of the paper's 122 did not spill).
+fn copy_kernel(elems: usize, stride: usize, seed: u64) -> Module {
+    let mut m = Module::new();
+    m.push_global(f64_global("a", elems * stride, seed));
+    m.push_global(Global::zeroed("out", (elems * 8) as u32));
+
+    let mut f = FuncBuilder::new("pack");
+    let src = f.loadsym("a");
+    let dst = f.loadsym("out");
+    f.counted_loop(0, elems as i64, 1, |fb, i| {
+        let soff = fb.multi(i, (stride * 8) as i64);
+        let v = fb.floadai_indexed(src, soff, 0);
+        let doff = fb.shli(i, 3);
+        fb.fstoreai_indexed(dst, doff, 0, v);
+    });
+    f.ret(&[]);
+
+    let mut main = FuncBuilder::new("main");
+    main.call("pack", &[], &[]);
+    checksum_and_ret(&mut main, "out", elems);
+
+    m.push_function(f.finish());
+    m.push_function(main.finish());
+    m
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+macro_rules! kernel {
+    ($name:literal, $analog:literal, $unroll:expr, $build:expr) => {
+        Kernel {
+            name: $name,
+            analog: $analog,
+            unroll: $unroll,
+            build: $build,
+        }
+    };
+}
+
+/// All suite kernels, spanning heavy spillers, borderline cases, and
+/// non-spilling routines — plus `X` variants of the kernels whose
+/// namesakes were loop-transformed for prefetching.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        // ---- heavy spillers (fpppp, twldrv, deseco, jacld/jacu, …) ----
+        kernel!("fpppp", "SPEC fpppp: enormous straight-line float blocks", None, || {
+            net_kernel(96, 4, 24, 4, 101)
+        }),
+        kernel!("twldrv", "SPEC wave5 twldrv: twiddle-factor driver", None, || {
+            net_kernel(84, 4, 32, 3, 102)
+        }),
+        kernel!("deseco", "Perfect-club deseco: wide update network", None, || {
+            net_call_kernel(36, 4, 28, 2, 40, 103)
+        }),
+        kernel!("jacld", "NAS LU jacld: jacobian assembly, huge blocks", None, || {
+            net_kernel(88, 4, 24, 3, 104)
+        }),
+        kernel!("jacu", "NAS LU jacu: upper-jacobian assembly", None, || {
+            net_kernel(84, 4, 24, 3, 105)
+        }),
+        kernel!("blts", "NAS LU blts: block lower-triangular solve", None, || {
+            net_kernel(34, 4, 28, 2, 106)
+        }),
+        kernel!("buts", "NAS LU buts: block upper-triangular solve", None, || {
+            net_kernel(35, 4, 28, 2, 107)
+        }),
+        // ---- FFTPACK radix passes ----
+        kernel!("radf5", "FFTPACK radf5: radix-5 forward butterfly", None, || {
+            radix_kernel(5, 3, 40, true, 108)
+        }),
+        kernel!("radb5", "FFTPACK radb5: radix-5 backward butterfly", None, || {
+            radix_kernel(5, 3, 40, false, 109)
+        }),
+        kernel!("radf4", "FFTPACK radf4: radix-4 forward butterfly", None, || {
+            radix_kernel(4, 3, 48, true, 110)
+        }),
+        kernel!("radf4X", "radf4 after pressure transform (paper's X suffix)", Some(4), || {
+            radix_kernel(4, 3, 48, true, 110)
+        }),
+        kernel!("radb4", "FFTPACK radb4: radix-4 backward butterfly", None, || {
+            radix_kernel(4, 3, 48, false, 111)
+        }),
+        kernel!("radb4X", "radb4 after pressure transform", Some(4), || {
+            radix_kernel(4, 3, 48, false, 111)
+        }),
+        kernel!("radf3X", "radix-3 butterfly, transformed", Some(4), || {
+            radix_kernel(3, 3, 48, true, 112)
+        }),
+        kernel!("radb3X", "radix-3 backward, transformed", Some(4), || {
+            radix_kernel(3, 3, 48, false, 113)
+        }),
+        kernel!("radf2X", "radix-2 butterfly, transformed", Some(8), || {
+            radix_kernel(2, 4, 64, true, 114)
+        }),
+        kernel!("radb2X", "radix-2 backward, transformed", Some(8), || {
+            radix_kernel(2, 4, 64, false, 115)
+        }),
+        // ---- medium float networks (erhs/rhs/supp/subb/…) ----
+        kernel!("erhs", "NAS LU erhs: flux-difference loop nests", None, || {
+            net_kernel(34, 4, 32, 3, 116)
+        }),
+        kernel!("rhs", "NAS LU rhs: right-hand-side assembly", None, || {
+            net_kernel(33, 4, 32, 3, 117)
+        }),
+        kernel!("supp", "Perfect-club supp: support-function evaluation", None, || {
+            net_call_kernel(34, 4, 28, 2, 40, 118)
+        }),
+        kernel!("subb", "Perfect-club subb: substitution pass", None, || {
+            net_call_kernel(35, 4, 28, 2, 38, 119)
+        }),
+        kernel!("saturr", "saturr: rational saturation per element", None, || {
+            net_kernel(33, 3, 32, 2, 120)
+        }),
+        kernel!("ddeflu", "ddeflu: deflation update", None, || {
+            net_call_kernel(34, 3, 32, 2, 40, 121)
+        }),
+        kernel!("debflu", "debflu: flux balance", None, || {
+            net_call_kernel(33, 3, 32, 1, 36, 122)
+        }),
+        kernel!("bilan", "bilan: energy balance reduction", None, || {
+            net_call_kernel(34, 3, 28, 2, 42, 123)
+        }),
+        kernel!("pastem", "pastem: time-stepping update", None, || {
+            net_call_kernel(33, 3, 32, 1, 36, 124)
+        }),
+        kernel!("prophy", "prophy: physical-property evaluation", None, || {
+            net_call_kernel(34, 4, 28, 2, 44, 125)
+        }),
+        kernel!("colbur", "colbur: collision/burn kernel", None, || {
+            net_call_kernel(33, 3, 32, 1, 36, 126)
+        }),
+        kernel!("cosqf1", "FFTPACK cosqf1: cosine transform pass", None, || {
+            net_kernel(32, 3, 36, 1, 127)
+        }),
+        // ---- stencils ----
+        kernel!("tomcatv", "SPEC tomcatv: mesh relaxation", None, || {
+            stencil_kernel(20, 2, 24, 128)
+        }),
+        kernel!("smoothX", "smooth after pressure transform", Some(2), || {
+            stencil_kernel(18, 2, 14, 129)
+        }),
+        kernel!("fieldX", "field update, transformed", Some(4), || {
+            net_kernel(16, 3, 48, 2, 130)
+        }),
+        kernel!("initX", "initialization sweep, transformed", Some(4), || {
+            net_kernel(14, 2, 48, 1, 131)
+        }),
+        kernel!("vslv1pX", "vectorized solver pass, transformed", Some(4), || {
+            net_kernel(24, 3, 40, 2, 132)
+        }),
+        kernel!("vslv1xX", "vectorized solver pass (variant), transformed", Some(4), || {
+            net_kernel(25, 3, 40, 2, 133)
+        }),
+        // ---- Forsythe numerical methods ----
+        kernel!("decomp", "Forsythe decomp+solve: LU with substitution", None, || {
+            decomp_kernel(12, 134)
+        }),
+        kernel!("svd", "Forsythe svd: rotation application", None, || {
+            net_kernel(33, 4, 24, 2, 135)
+        }),
+        kernel!("zeroin", "Forsythe zeroin: root finder, call-heavy", None, || {
+            caller_pressure_kernel(48, 34, 34, 136)
+        }),
+        kernel!("fmin", "Forsythe fmin: minimizer, call-heavy", None, || {
+            caller_pressure_kernel(40, 30, 33, 137)
+        }),
+        // ---- particles / gather-scatter ----
+        kernel!("parmvr", "particle move (gather-update-scatter)", None, || {
+            particle_kernel(96, 16, 20, 138)
+        }),
+        kernel!("parmvrX", "particle move, transformed", Some(2), || {
+            particle_kernel(96, 16, 20, 138)
+        }),
+        kernel!("parmveX", "particle exchange, transformed", Some(2), || {
+            particle_kernel(96, 16, 12, 139)
+        }),
+        // ---- integer pressure ----
+        kernel!("urand", "Forsythe urand: integer recurrences", None, || {
+            int_kernel(36, 4, 32, 140)
+        }),
+        kernel!("ihash", "integer hashing network", None, || {
+            int_kernel(40, 3, 28, 141)
+        }),
+        // ---- light, non-spilling routines ----
+        kernel!("efill", "efill: strided fill", None, || copy_kernel(128, 2, 142)),
+        kernel!("getb", "getb: block gather", None, || copy_kernel(96, 3, 143)),
+        kernel!("putb", "putb: block scatter", None, || copy_kernel(96, 1, 144)),
+        kernel!("seval", "Forsythe seval: spline evaluation (light)", None, || {
+            net_kernel(8, 2, 48, 1, 145)
+        }),
+        // ---- remaining paper-table names ----
+        kernel!("gamgen", "gamgen: gamma-table generation", None, || {
+            net_kernel(33, 3, 30, 2, 146)
+        }),
+        kernel!("denptX", "density-update, transformed", Some(4), || {
+            net_kernel(18, 3, 44, 2, 147)
+        }),
+        kernel!("rffti1X", "FFTPACK rffti1 init, transformed", Some(4), || {
+            net_kernel(17, 2, 44, 1, 148)
+        }),
+        kernel!("slv2xyX", "2-D xy solver pass, transformed", Some(2), || {
+            net_kernel(22, 3, 38, 2, 149)
+        }),
+        kernel!("debico", "debico: decomposition bookkeeping", None, || {
+            net_call_kernel(33, 3, 30, 1, 36, 150)
+        }),
+        kernel!("inideb", "inideb: initialization w/ helper calls", None, || {
+            net_call_kernel(32, 3, 28, 1, 38, 151)
+        }),
+        kernel!("heat", "heat: explicit diffusion step", None, || {
+            stencil_kernel(18, 2, 20, 152)
+        }),
+        kernel!("drigl", "drigl: grid-line driver", None, || {
+            net_kernel(32, 3, 30, 2, 153)
+        }),
+        kernel!("coeray", "coeray: ray-coefficient evaluation", None, || {
+            net_kernel(33, 4, 26, 1, 154)
+        }),
+        kernel!("integr", "integr: panel integration (light)", None, || {
+            net_kernel(12, 2, 40, 1, 155)
+        }),
+        kernel!("orgpar", "orgpar: parameter organization (light)", None, || {
+            copy_kernel(112, 2, 156)
+        }),
+        kernel!("x21y21", "x21y21: coordinate transform", None, || {
+            net_kernel(24, 3, 36, 1, 157)
+        }),
+        // The four routines the paper singles out as needing > 1000 bytes
+        // of spill memory *without* compacting at all: one giant phase in
+        // which every spill slot interferes with every other.
+        kernel!("paroi", "paroi: wall-interaction, one huge phase", None, || {
+            monolith_kernel(164, 8, 158)
+        }),
+        kernel!("inisla", "inisla: slab initialization, one huge phase", None, || {
+            monolith_kernel(160, 8, 159)
+        }),
+        kernel!("energyx", "energy evaluation, transformed, one huge phase", None, || {
+            monolith_kernel(172, 8, 160)
+        }),
+        kernel!("pdiagX", "pressure diagnostic, transformed, one huge phase", None, || {
+            monolith_kernel(168, 8, 161)
+        }),
+    ]
+}
+
+/// Looks up a kernel by name.
+pub fn kernel(name: &str) -> Option<Kernel> {
+    kernels().into_iter().find(|k| k.name == name)
+}

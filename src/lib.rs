@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # ccm-repro — Compiler-Controlled Memory
+//!
+//! A full reproduction of *Compiler-Controlled Memory* (Keith D. Cooper
+//! and Timothy J. Harvey, ASPLOS VIII, 1998) as a Rust workspace. This
+//! facade crate re-exports every subsystem:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`ir`] | `iloc` | the ILOC-like IR, builder, parser, verifier |
+//! | [`analysis`] | `analysis` | dataflow, dominators, liveness, SSA, loops, call graph |
+//! | [`opt`] | `opt` | SCCP, GVN, DCE, peephole, unrolling, pass pipeline |
+//! | [`regalloc`] | `regalloc` | the Chaitin-Briggs allocator with CCM hooks |
+//! | [`ccm`] | `ccm` | **the paper's contribution**: slot analysis, compaction, post-pass and integrated CCM allocation |
+//! | [`sim`] | `sim` | the cycle-accurate machine (mem = 2 cycles, CCM = 1) + cache models |
+//! | [`suite`] | `suite` | the synthetic workload suite (paper-analog kernels and programs) |
+//! | [`harness`] | `harness` | the experiments regenerating Tables 1–4 and Figures 3/4 |
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow, and run
+//! `cargo run --release -p harness -- --all` to regenerate the paper's
+//! evaluation.
+
+pub use analysis;
+pub use ccm;
+pub use harness;
+pub use iloc as ir;
+pub use opt;
+pub use regalloc;
+pub use sim;
+pub use suite;

@@ -1,0 +1,128 @@
+//! Property-based end-to-end tests: for arbitrary generated programs, the
+//! observable results survive every stage of the compilation pipeline —
+//! scalar optimization, register allocation under pressure, spill-memory
+//! compaction, post-pass CCM promotion, and integrated CCM allocation.
+
+mod common;
+
+use common::{arb_stmts, build_module, run_checksum};
+use proptest::prelude::*;
+use regalloc::AllocConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// The scalar optimizer preserves program behavior.
+    #[test]
+    fn optimization_preserves_semantics(stmts in arb_stmts()) {
+        let m = build_module(&stmts);
+        let expected = run_checksum(&m);
+        let mut o = m.clone();
+        opt::optimize_module(&mut o, &opt::OptOptions::default());
+        o.verify().expect("optimized module verifies");
+        prop_assert_eq!(run_checksum(&o), expected);
+    }
+
+    /// Register allocation with very few registers (forcing heavy
+    /// spilling) preserves behavior, and leaves no virtual registers.
+    #[test]
+    fn allocation_under_pressure_preserves_semantics(stmts in arb_stmts()) {
+        let m = build_module(&stmts);
+        let expected = run_checksum(&m);
+        let mut a = m.clone();
+        opt::optimize_module(&mut a, &opt::OptOptions::default());
+        regalloc::allocate_module(&mut a, &AllocConfig::tiny(3));
+        a.verify().expect("allocated module verifies");
+        for f in &a.functions {
+            prop_assert!(regalloc::no_virtual_regs(f));
+        }
+        prop_assert_eq!(run_checksum(&a), expected);
+    }
+
+    /// Spill-memory compaction never changes behavior.
+    #[test]
+    fn compaction_preserves_semantics(stmts in arb_stmts()) {
+        let m = build_module(&stmts);
+        let expected = run_checksum(&m);
+        let mut a = m.clone();
+        regalloc::allocate_module(&mut a, &AllocConfig::tiny(3));
+        ccm::compact_module(&mut a);
+        a.verify().expect("compacted module verifies");
+        prop_assert_eq!(run_checksum(&a), expected);
+    }
+
+    /// Post-pass CCM promotion (both conventions, tiny CCM included so
+    /// the heavyweight path is exercised) preserves behavior.
+    #[test]
+    fn postpass_promotion_preserves_semantics(stmts in arb_stmts(), inter in any::<bool>(), ccm_size in prop_oneof![Just(8u32), Just(24), Just(64)]) {
+        let m = build_module(&stmts);
+        let expected = run_checksum(&m);
+        let mut a = m.clone();
+        regalloc::allocate_module(&mut a, &AllocConfig::tiny(3));
+        ccm::postpass_promote(&mut a, &ccm::PostpassConfig { ccm_size, interprocedural: inter });
+        a.verify().expect("promoted module verifies");
+        prop_assert_eq!(run_checksum(&a), expected);
+    }
+
+    /// The integrated CCM allocator preserves behavior.
+    #[test]
+    fn integrated_allocation_preserves_semantics(stmts in arb_stmts(), ccm_size in prop_oneof![Just(8u32), Just(24), Just(64)]) {
+        let m = build_module(&stmts);
+        let expected = run_checksum(&m);
+        let mut a = m.clone();
+        ccm::allocate_module_integrated(&mut a, &AllocConfig::tiny(3), ccm_size);
+        a.verify().expect("integrated module verifies");
+        prop_assert_eq!(run_checksum(&a), expected);
+    }
+
+    /// Rematerializing allocation preserves behavior.
+    #[test]
+    fn remat_allocation_preserves_semantics(stmts in arb_stmts()) {
+        let m = build_module(&stmts);
+        let expected = run_checksum(&m);
+        let mut a = m.clone();
+        opt::optimize_module(&mut a, &opt::OptOptions::default());
+        regalloc::allocate_module(
+            &mut a,
+            &AllocConfig { rematerialize: true, ..AllocConfig::tiny(3) },
+        );
+        a.verify().expect("allocated module verifies");
+        prop_assert_eq!(run_checksum(&a), expected);
+    }
+
+    /// SSA round-trip alone (construction then destruction) preserves
+    /// behavior and leaves strict SSA in between.
+    #[test]
+    fn ssa_round_trip_preserves_semantics(stmts in arb_stmts()) {
+        let m = build_module(&stmts);
+        let expected = run_checksum(&m);
+        let mut s = m.clone();
+        for f in &mut s.functions {
+            analysis::to_ssa(f);
+            analysis::check_single_def(f).expect("strict SSA");
+            analysis::from_ssa(f);
+        }
+        s.verify().expect("round-tripped module verifies");
+        prop_assert_eq!(run_checksum(&s), expected);
+    }
+
+    /// CCM promotion never increases cycle counts, and the promoted
+    /// program never touches main memory more often than the baseline.
+    #[test]
+    fn promotion_is_never_a_pessimization(stmts in arb_stmts()) {
+        let mut a = build_module(&stmts);
+        regalloc::allocate_module(&mut a, &AllocConfig::tiny(3));
+        let mut p = a.clone();
+        ccm::postpass_promote(&mut p, &ccm::PostpassConfig { ccm_size: 64, interprocedural: true });
+        let cfg = sim::MachineConfig::with_ccm(64);
+        let (_, mb) = sim::run_module(&a, cfg.clone(), "main").expect("baseline runs");
+        let (_, mp) = sim::run_module(&p, cfg, "main").expect("promoted runs");
+        prop_assert!(mp.cycles <= mb.cycles);
+        prop_assert!(mp.main_mem_ops <= mb.main_mem_ops);
+        prop_assert_eq!(mp.instrs, mb.instrs, "post-pass must not add instructions");
+    }
+}

@@ -1,0 +1,55 @@
+//! Property-based round-trip tests for the textual IR format: printing
+//! any generated module and parsing it back yields a structurally equal
+//! module with identical behavior.
+
+mod common;
+
+use common::{arb_stmts, build_module, run_checksum};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn print_parse_round_trip(stmts in arb_stmts()) {
+        let m = build_module(&stmts);
+        let text = m.to_string();
+        let parsed = iloc::parse_module(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&m, &parsed);
+        // And behavior is of course identical.
+        prop_assert_eq!(run_checksum(&m), run_checksum(&parsed));
+    }
+
+    /// Round trip survives a full allocation pipeline (spill tags, slot
+    /// declarations, CCM instructions all make it through the text form).
+    #[test]
+    fn allocated_module_round_trips(stmts in arb_stmts()) {
+        let mut m = build_module(&stmts);
+        regalloc::allocate_module(&mut m, &regalloc::AllocConfig::tiny(3));
+        ccm::postpass_promote(
+            &mut m,
+            &ccm::PostpassConfig { ccm_size: 64, interprocedural: true },
+        );
+        let text = m.to_string();
+        let parsed = iloc::parse_module(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&m, &parsed);
+        prop_assert_eq!(run_checksum(&m), run_checksum(&parsed));
+    }
+
+    /// Parsing is total on printer output even after optimization.
+    #[test]
+    fn optimized_module_round_trips(stmts in arb_stmts()) {
+        let mut m = build_module(&stmts);
+        opt::optimize_module(&mut m, &opt::OptOptions::default());
+        let text = m.to_string();
+        let parsed = iloc::parse_module(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&m, &parsed);
+    }
+}
