@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, then the tier-1 build-and-test gate.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "CI green."

@@ -249,7 +249,7 @@ mod proptests {
             let changed = sa.union_with(&sb);
             prop_assert_eq!(changed, sa != before);
             // Union is idempotent: second application never changes.
-            prop_assert!(!sa.clone().union_with(&sb) || false);
+            prop_assert!(!sa.clone().union_with(&sb));
             let mut again = sa.clone();
             prop_assert!(!again.union_with(&sb));
         }
@@ -264,7 +264,7 @@ mod proptests {
             sorted.sort_unstable();
             sorted.dedup();
             prop_assert_eq!(&items, &sorted);
-            let rebuilt: BitSet = items.iter().map(|&x| x).collect();
+            let rebuilt: BitSet = items.iter().copied().collect();
             for &x in &items {
                 prop_assert!(rebuilt.contains(x));
             }

@@ -45,6 +45,7 @@
 pub mod bitset;
 pub mod callgraph;
 pub mod dataflow;
+pub mod defined;
 pub mod defuse;
 pub mod dom;
 pub mod liveness;
@@ -56,6 +57,7 @@ pub mod ssa;
 pub use bitset::BitSet;
 pub use callgraph::CallGraph;
 pub use dataflow::{solve, DataflowProblem, Direction, Meet, Solution};
+pub use defined::DefinedRegs;
 pub use defuse::{DefUse, InstrRef};
 pub use dom::Dominators;
 pub use liveness::Liveness;

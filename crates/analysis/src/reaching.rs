@@ -145,7 +145,11 @@ mod tests {
         let f = fb.finish();
         let rd = ReachingDefs::compute(&f);
         let reaching = rd.reaching(j, x);
-        assert_eq!(reaching.len(), 2, "both arm defs reach the join: {reaching:?}");
+        assert_eq!(
+            reaching.len(),
+            2,
+            "both arm defs reach the join: {reaching:?}"
+        );
         assert!(reaching.iter().all(|s| s.block == t || s.block == e));
     }
 

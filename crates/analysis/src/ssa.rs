@@ -63,10 +63,7 @@ pub fn to_ssa(f: &mut Function) -> usize {
         while let Some(d) = work.pop() {
             for &frontier in &df[d.index()] {
                 if has_phi.insert(frontier) {
-                    let args = preds[frontier.index()]
-                        .iter()
-                        .map(|&p| (p, name))
-                        .collect();
+                    let args = preds[frontier.index()].iter().map(|&p| (p, name)).collect();
                     f.block_mut(frontier)
                         .instrs
                         .insert(0, Instr::new(Op::Phi { dst: name, args }));

@@ -23,7 +23,11 @@ fn table1(c: &mut Criterion) {
                 let mut m = suite::build_optimized(&k);
                 regalloc::allocate_module(&mut m, &regalloc::AllocConfig::default());
                 ccm::compact_module(&mut m);
-                total += m.functions.iter().map(|f| f.frame.spill_bytes()).sum::<u32>();
+                total += m
+                    .functions
+                    .iter()
+                    .map(|f| f.frame.spill_bytes())
+                    .sum::<u32>();
             }
             black_box(total)
         })
@@ -36,9 +40,7 @@ fn table2(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2_512B");
     g.sample_size(10);
     for v in Variant::ALL {
-        g.bench_function(v.label(), |b| {
-            b.iter(|| black_box(run_subset(v, 512)))
-        });
+        g.bench_function(v.label(), |b| b.iter(|| black_box(run_subset(v, 512))));
     }
     g.finish();
 }
@@ -48,9 +50,7 @@ fn table3(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3_1024B");
     g.sample_size(10);
     for v in [Variant::PostPassCallGraph, Variant::Integrated] {
-        g.bench_function(v.label(), |b| {
-            b.iter(|| black_box(run_subset(v, 1024)))
-        });
+        g.bench_function(v.label(), |b| b.iter(|| black_box(run_subset(v, 1024))));
     }
     g.finish();
 }
@@ -68,8 +68,7 @@ fn table4(c: &mut Criterion) {
                 let m = suite::build_optimized(&k);
                 let baseline = harness::measure(m.clone(), Variant::Baseline, &machine);
                 let postpass = harness::measure(m.clone(), Variant::PostPass, &machine);
-                let postpass_cg =
-                    harness::measure(m.clone(), Variant::PostPassCallGraph, &machine);
+                let postpass_cg = harness::measure(m.clone(), Variant::PostPassCallGraph, &machine);
                 let integrated = harness::measure(m, Variant::Integrated, &machine);
                 rows.push(harness::SpeedupRow {
                     name: name.to_string(),

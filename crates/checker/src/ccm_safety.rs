@@ -1,0 +1,175 @@
+//! CCM safety: scratchpad accesses stay in bounds, are accounted to
+//! spill slots, and respect the interprocedural high-water discipline —
+//! a value kept in the CCM across a call must sit above everything the
+//! callee (transitively) may touch.
+
+use std::collections::HashSet;
+
+use analysis::CallGraph;
+use ccm::SlotAnalysis;
+use iloc::{Module, Op};
+
+use crate::{CheckerConfig, Diagnostic};
+
+/// Runs the `ccm-bounds`, `ccm-mark`, `ccm-high-water`, and
+/// `ccm-interproc` checks over the whole module. `analyses` holds one
+/// [`SlotAnalysis`] per function, in module order.
+pub(crate) fn check(
+    m: &Module,
+    analyses: &[SlotAnalysis],
+    cfg: &CheckerConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let usage = bounds_and_marks(m, cfg, diags);
+    interprocedural(m, analyses, &usage, cfg, diags);
+}
+
+/// The byte extent of a CCM access: `(offset, size)`.
+fn ccm_access(op: &Op) -> Option<(u32, u32)> {
+    match *op {
+        Op::CcmStore { off, .. } | Op::CcmLoad { off, .. } => Some((off, 4)),
+        Op::CcmFStore { off, .. } | Op::CcmFLoad { off, .. } => Some((off, 8)),
+        _ => None,
+    }
+}
+
+/// `ccm-bounds` + `ccm-mark` + `ccm-high-water`; returns each function's
+/// own CCM usage (one past the highest byte its instructions touch).
+fn bounds_and_marks(m: &Module, cfg: &CheckerConfig, diags: &mut Vec<Diagnostic>) -> Vec<u32> {
+    let mut usage = vec![0u32; m.functions.len()];
+    for (fi, f) in m.functions.iter().enumerate() {
+        let mut touched: HashSet<usize> = HashSet::new();
+        for b in f.block_ids() {
+            let label = &f.block(b).label;
+            for (i, instr) in f.block(b).instrs.iter().enumerate() {
+                let Some((off, size)) = ccm_access(&instr.op) else {
+                    continue;
+                };
+                usage[fi] = usage[fi].max(off + size);
+                if off + size > cfg.ccm_size {
+                    diags.push(
+                        Diagnostic::error(
+                            "ccm-bounds",
+                            &f.name,
+                            format!(
+                                "CCM access spans [{off}, {}) past the {}-byte CCM",
+                                off + size,
+                                cfg.ccm_size
+                            ),
+                        )
+                        .at(label, i),
+                    );
+                }
+                if off % size != 0 {
+                    diags.push(
+                        Diagnostic::error(
+                            "ccm-bounds",
+                            &f.name,
+                            format!("CCM access at offset {off} is not {size}-byte aligned"),
+                        )
+                        .at(label, i),
+                    );
+                }
+                // Every CCM access must be a tagged spill of a slot the
+                // frame records as CCM-resident at that offset; otherwise
+                // the high-water accounting callers rely on is defeated.
+                let accounted = instr.spill_slot().is_some_and(|s| {
+                    f.frame
+                        .slots
+                        .get(s.index())
+                        .is_some_and(|slot| slot.in_ccm && slot.offset == off)
+                });
+                if accounted {
+                    touched.insert(instr.spill_slot().unwrap().index());
+                } else {
+                    diags.push(
+                        Diagnostic::error(
+                            "ccm-mark",
+                            &f.name,
+                            format!(
+                                "CCM access at offset {off} is not accounted to a CCM-resident \
+                                 spill slot"
+                            ),
+                        )
+                        .at(label, i),
+                    );
+                }
+            }
+        }
+        // A slot recorded as CCM-resident but never accessed inflates the
+        // function's apparent high-water mark: callers lose scratchpad
+        // room for nothing. Safe, so a warning.
+        for (si, slot) in f.frame.slots.iter().enumerate() {
+            if slot.in_ccm && !touched.contains(&si) {
+                diags.push(Diagnostic::warning(
+                    "ccm-high-water",
+                    &f.name,
+                    format!(
+                        "slot {si} is marked CCM-resident but never accessed; it pads the \
+                         high-water mark to {}",
+                        slot.offset + slot.size()
+                    ),
+                ));
+            }
+        }
+    }
+    usage
+}
+
+/// `ccm-interproc`: the discipline of the call-graph-driven allocator.
+/// Each function's *transitive* mark is its own usage joined with its
+/// callees' marks; members of recursive SCCs may re-enter with arbitrary
+/// nesting, so their mark is the whole CCM. A caller's CCM-resident slot
+/// that is live across a call must sit entirely at or above the callee's
+/// mark.
+fn interprocedural(
+    m: &Module,
+    analyses: &[SlotAnalysis],
+    usage: &[u32],
+    cfg: &CheckerConfig,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let cg = CallGraph::build(m);
+    let index = m.function_indices();
+    let mut mark = vec![0u32; m.functions.len()];
+    // SCCs arrive in reverse topological order: callees before callers.
+    for comp in cg.sccs() {
+        let recursive = comp.len() > 1 || comp.iter().any(|&v| cg.callees[v].contains(&v));
+        for &v in &comp {
+            mark[v] = if recursive {
+                cfg.ccm_size
+            } else {
+                let mut hw = usage[v];
+                for callee in m.functions[v].callees() {
+                    hw = hw.max(match index.get(callee) {
+                        Some(&c) => mark[c],
+                        None => cfg.ccm_size, // unknown callee: assume the worst
+                    });
+                }
+                hw
+            };
+        }
+    }
+    for (fi, f) in m.functions.iter().enumerate() {
+        for site in &analyses[fi].call_sites {
+            let callee_mark = match index.get(site.callee.as_str()) {
+                Some(&c) => mark[c],
+                None => cfg.ccm_size,
+            };
+            for &si in &site.live_slots {
+                let slot = &f.frame.slots[si];
+                if slot.in_ccm && slot.offset < callee_mark {
+                    diags.push(Diagnostic::error(
+                        "ccm-interproc",
+                        &f.name,
+                        format!(
+                            "CCM slot {si} at offset {} is live across a call to `{}`, which \
+                             may clobber the CCM below {callee_mark}",
+                            slot.offset, site.callee
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -35,7 +35,10 @@ impl CompactStats {
 pub fn compact_spill_memory(f: &mut Function) -> CompactStats {
     let before = f.frame.spill_bytes();
     if f.frame.slots.is_empty() {
-        return CompactStats { before, after: before };
+        return CompactStats {
+            before,
+            after: before,
+        };
     }
     let analysis = SlotAnalysis::compute(f);
 
@@ -140,11 +143,39 @@ mod tests {
         let o1 = f.frame.slot(s1).offset as i64;
         let seq = vec![
             Instr::new(Op::LoadF { imm: 1.0, dst: x }),
-            Instr::spill_store(Op::FStoreAI { val: x, addr: Reg::RARP, off: o0 }, s0),
-            Instr::spill_restore(Op::FLoadAI { addr: Reg::RARP, off: o0, dst: t0 }, s0),
+            Instr::spill_store(
+                Op::FStoreAI {
+                    val: x,
+                    addr: Reg::RARP,
+                    off: o0,
+                },
+                s0,
+            ),
+            Instr::spill_restore(
+                Op::FLoadAI {
+                    addr: Reg::RARP,
+                    off: o0,
+                    dst: t0,
+                },
+                s0,
+            ),
             Instr::new(Op::LoadF { imm: 2.0, dst: y }),
-            Instr::spill_store(Op::FStoreAI { val: y, addr: Reg::RARP, off: o1 }, s1),
-            Instr::spill_restore(Op::FLoadAI { addr: Reg::RARP, off: o1, dst: t1 }, s1),
+            Instr::spill_store(
+                Op::FStoreAI {
+                    val: y,
+                    addr: Reg::RARP,
+                    off: o1,
+                },
+                s1,
+            ),
+            Instr::spill_restore(
+                Op::FLoadAI {
+                    addr: Reg::RARP,
+                    off: o1,
+                    dst: t1,
+                },
+                s1,
+            ),
         ];
         for (i, instr) in seq.into_iter().enumerate() {
             f.block_mut(e).instrs.insert(1 + i, instr);
@@ -194,10 +225,38 @@ mod tests {
         let o1 = f.frame.slot(s1).offset as i64;
         let seq = vec![
             Instr::new(Op::LoadI { imm: 5, dst: v }),
-            Instr::spill_store(Op::StoreAI { val: v, addr: Reg::RARP, off: o0 }, s0),
-            Instr::spill_store(Op::StoreAI { val: v, addr: Reg::RARP, off: o1 }, s1),
-            Instr::spill_restore(Op::LoadAI { addr: Reg::RARP, off: o0, dst: t0 }, s0),
-            Instr::spill_restore(Op::LoadAI { addr: Reg::RARP, off: o1, dst: t1 }, s1),
+            Instr::spill_store(
+                Op::StoreAI {
+                    val: v,
+                    addr: Reg::RARP,
+                    off: o0,
+                },
+                s0,
+            ),
+            Instr::spill_store(
+                Op::StoreAI {
+                    val: v,
+                    addr: Reg::RARP,
+                    off: o1,
+                },
+                s1,
+            ),
+            Instr::spill_restore(
+                Op::LoadAI {
+                    addr: Reg::RARP,
+                    off: o0,
+                    dst: t0,
+                },
+                s0,
+            ),
+            Instr::spill_restore(
+                Op::LoadAI {
+                    addr: Reg::RARP,
+                    off: o1,
+                    dst: t1,
+                },
+                s1,
+            ),
         ];
         for (i, instr) in seq.into_iter().enumerate() {
             f.block_mut(e).instrs.insert(i, instr);
@@ -239,10 +298,38 @@ mod tests {
         let seq = vec![
             Instr::new(Op::LoadI { imm: 1, dst: vi }),
             Instr::new(Op::LoadF { imm: 1.0, dst: vf }),
-            Instr::spill_store(Op::StoreAI { val: vi, addr: Reg::RARP, off: og }, sg),
-            Instr::spill_store(Op::FStoreAI { val: vf, addr: Reg::RARP, off: of }, sf),
-            Instr::spill_restore(Op::LoadAI { addr: Reg::RARP, off: og, dst: ti }, sg),
-            Instr::spill_restore(Op::FLoadAI { addr: Reg::RARP, off: of, dst: tf }, sf),
+            Instr::spill_store(
+                Op::StoreAI {
+                    val: vi,
+                    addr: Reg::RARP,
+                    off: og,
+                },
+                sg,
+            ),
+            Instr::spill_store(
+                Op::FStoreAI {
+                    val: vf,
+                    addr: Reg::RARP,
+                    off: of,
+                },
+                sf,
+            ),
+            Instr::spill_restore(
+                Op::LoadAI {
+                    addr: Reg::RARP,
+                    off: og,
+                    dst: ti,
+                },
+                sg,
+            ),
+            Instr::spill_restore(
+                Op::FLoadAI {
+                    addr: Reg::RARP,
+                    off: of,
+                    dst: tf,
+                },
+                sf,
+            ),
         ];
         for (i, instr) in seq.into_iter().enumerate() {
             f.block_mut(e).instrs.insert(i, instr);

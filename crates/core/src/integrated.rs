@@ -204,8 +204,7 @@ mod tests {
     #[test]
     fn integrated_spills_go_to_ccm() {
         let mut m = wide_module(14);
-        let (alloc, ccm) =
-            allocate_module_integrated(&mut m, &AllocConfig::tiny(4), 512);
+        let (alloc, ccm) = allocate_module_integrated(&mut m, &AllocConfig::tiny(4), 512);
         assert!(alloc.total_spilled() > 0);
         assert_eq!(ccm.ccm_spills, alloc.total_spilled());
         assert_eq!(ccm.heavyweight_spills, 0);
@@ -323,10 +322,7 @@ mod tests {
         }
         for a in &by_class[0] {
             for b in &by_class[1] {
-                assert!(
-                    !overlaps(*a, *b),
-                    "cross-class CCM overlap: {a:?} vs {b:?}"
-                );
+                assert!(!overlaps(*a, *b), "cross-class CCM overlap: {a:?} vs {b:?}");
             }
         }
         let (v, _) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();

@@ -1,0 +1,176 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so this
+//! workspace vendors the subset of criterion's API its benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` / `bench_function` / `finish`), [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each bench body is warmed up
+//! once, then timed over `sample_size` samples; the mean, minimum, and
+//! maximum per-iteration times are printed. There is no outlier
+//! rejection, HTML report, or baseline comparison — the goal is that
+//! `cargo bench` builds, runs, and prints usable numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark (settable per group).
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Passed to bench bodies; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Times `body` over the configured number of samples. The return
+    /// value is passed to `std::hint::black_box` so the computation is
+    /// not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed warm-up pass (fills caches, faults in pages).
+        std::hint::black_box(body());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(body());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{id:<40} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+        samples.len()
+    );
+}
+
+/// The benchmark driver. One instance is threaded through every
+/// registered bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        body(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size.unwrap_or(self.criterion.sample_size));
+        body(&mut b);
+        report(&format!("{}/{id}", self.name), &b.samples);
+        self
+    }
+
+    /// Ends the group (printing nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group: a function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // warm-up + DEFAULT_SAMPLE_SIZE timed iterations
+        assert_eq!(runs, DEFAULT_SAMPLE_SIZE + 1);
+    }
+
+    #[test]
+    fn group_sample_size_applies() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 4);
+    }
+}

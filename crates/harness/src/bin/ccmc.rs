@@ -7,7 +7,7 @@
 //! ```text
 //! ccmc input.iloc [--variant base|postpass|postpass-cg|integrated]
 //!                 [--ccm SIZE] [--unroll N] [--licm] [--run [ENTRY]]
-//!                 [--emit] [--stats]
+//!                 [--emit] [--stats] [--check[=json]]
 //! ```
 
 use std::process::exit;
@@ -24,6 +24,13 @@ struct Options {
     run: Option<String>,
     emit: bool,
     stats: bool,
+    check: Option<CheckFormat>,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum CheckFormat {
+    Text,
+    Json,
 }
 
 fn parse_args() -> Options {
@@ -37,6 +44,7 @@ fn parse_args() -> Options {
         run: None,
         emit: false,
         stats: false,
+        check: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -56,11 +64,13 @@ fn parse_args() -> Options {
             "--entry" => o.run = Some(req_s(args.next(), "--entry needs a name")),
             "--emit" => o.emit = true,
             "--stats" => o.stats = true,
+            "--check" => o.check = Some(CheckFormat::Text),
+            "--check=json" => o.check = Some(CheckFormat::Json),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ccmc INPUT.iloc [--variant base|postpass|postpass-cg|integrated]\n\
                      \x20            [--ccm SIZE] [--unroll N] [--licm] [--run] [--entry NAME]\n\
-                     \x20            [--emit] [--stats]"
+                     \x20            [--emit] [--stats] [--check[=json]]"
                 );
                 exit(0);
             }
@@ -103,7 +113,25 @@ fn main() {
         },
     );
     let spilled = allocate_variant(&mut m, o.variant, o.ccm_size);
-    m.verify().unwrap_or_else(|e| die(&format!("post-allocation verify: {e}")));
+    m.verify()
+        .unwrap_or_else(|e| die(&format!("post-allocation verify: {e}")));
+
+    if let Some(format) = o.check {
+        let diags = harness::check_allocated(&m, o.ccm_size);
+        match format {
+            CheckFormat::Text => {
+                if diags.is_empty() {
+                    eprintln!("ccmc: checker clean");
+                } else {
+                    print!("{}", checker::render_text(&diags));
+                }
+            }
+            CheckFormat::Json => print!("{}", checker::render_json(&diags)),
+        }
+        if checker::has_errors(&diags) {
+            exit(1);
+        }
+    }
 
     if o.stats {
         let spill_bytes: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();

@@ -1,16 +1,45 @@
+//! `probe` — per-kernel allocation pressure and checker diagnostics.
+//!
+//! For every suite kernel: spill counts and register pressure under the
+//! default allocator, then the post-allocation checker's verdict on the
+//! post-pass-with-call-graph CCM variant (512-byte scratchpad).
+
 fn main() {
+    const CCM: u32 = 512;
     for k in suite::kernels() {
         let m = suite::build_optimized(&k);
         let mut am = m.clone();
         let stats = regalloc::allocate_module(&mut am, &regalloc::AllocConfig::default());
         let bytes: u32 = am.functions.iter().map(|f| f.frame.spill_bytes()).sum();
         // pressure of the biggest routine
-        let mut maxg = 0; let mut maxf = 0;
+        let mut maxg = 0;
+        let mut maxf = 0;
         for f in &m.functions {
             let lv = analysis::Liveness::compute(f);
             maxg = maxg.max(lv.max_pressure(f, iloc::RegClass::Gpr));
             maxf = maxf.max(lv.max_pressure(f, iloc::RegClass::Fpr));
         }
-        println!("{:<10} spills={:<4} bytes={:<6} pressure g={} f={}", k.name, stats.total_spilled(), bytes, maxg, maxf);
+        // Checker verdict on the CCM-promoted allocation.
+        let mut cm = m.clone();
+        harness::allocate_variant(&mut cm, harness::Variant::PostPassCallGraph, CCM);
+        let diags = harness::check_allocated(&cm, CCM);
+        let errors = checker::errors(&diags).len();
+        let verdict = if diags.is_empty() {
+            "clean".to_string()
+        } else {
+            format!("{} errors, {} warnings", errors, diags.len() - errors)
+        };
+        println!(
+            "{:<10} spills={:<4} bytes={:<6} pressure g={} f={} | checker: {}",
+            k.name,
+            stats.total_spilled(),
+            bytes,
+            maxg,
+            maxf,
+            verdict
+        );
+        for d in &diags {
+            println!("           {d}");
+        }
     }
 }

@@ -105,7 +105,10 @@ mod tests {
         }];
         let s = table1_csv(&rows);
         let mut lines = s.lines();
-        assert_eq!(lines.next().unwrap(), "routine,before_bytes,after_bytes,ratio");
+        assert_eq!(
+            lines.next().unwrap(),
+            "routine,before_bytes,after_bytes,ratio"
+        );
         assert_eq!(lines.next().unwrap(), "x,10,5,0.5000");
     }
 

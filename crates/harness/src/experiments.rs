@@ -101,8 +101,11 @@ pub fn speedup_rows(ccm_size: u32) -> Vec<SpeedupRow> {
         let postpass = measure(m.clone(), Variant::PostPass, &machine);
         let postpass_cg = measure(m.clone(), Variant::PostPassCallGraph, &machine);
         let integrated = measure(m, Variant::Integrated, &machine);
-        for (v, r) in [("post-pass", &postpass), ("post-pass/cg", &postpass_cg), ("integrated", &integrated)]
-        {
+        for (v, r) in [
+            ("post-pass", &postpass),
+            ("post-pass/cg", &postpass_cg),
+            ("integrated", &integrated),
+        ] {
             assert_eq!(
                 r.checksum.to_bits(),
                 baseline.checksum.to_bits(),
@@ -170,11 +173,7 @@ pub fn table4_from(rows: &[SpeedupRow]) -> [Table4Cell; 3] {
         mem_pct: 0.0,
     }; 3];
     type Pick = for<'a> fn(&'a SpeedupRow) -> &'a Measurement;
-    let picks: [Pick; 3] = [
-        |r| &r.postpass,
-        |r| &r.postpass_cg,
-        |r| &r.integrated,
-    ];
+    let picks: [Pick; 3] = [|r| &r.postpass, |r| &r.postpass_cg, |r| &r.integrated];
     for (i, pick) in picks.into_iter().enumerate() {
         let v_total: u64 = rows.iter().map(|r| pick(r).cycles).sum();
         let v_mem: u64 = rows.iter().map(|r| pick(r).mem_cycles).sum();
@@ -214,9 +213,13 @@ pub fn figure(ccm_size: u32) -> Vec<ProgramRow> {
         let m = suite::build_program(&p);
         let base = measure(m.clone(), Variant::Baseline, &machine);
         let mut rel = [(1.0, 1.0); 3];
-        for (i, v) in [Variant::PostPass, Variant::PostPassCallGraph, Variant::Integrated]
-            .into_iter()
-            .enumerate()
+        for (i, v) in [
+            Variant::PostPass,
+            Variant::PostPassCallGraph,
+            Variant::Integrated,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let r = measure(m.clone(), v, &machine);
             assert_eq!(
@@ -304,9 +307,11 @@ pub fn ablation() -> Vec<AblationRow> {
             base_cycles += b.cycles;
             ccm_cycles += c.cycles;
             base_hits.0 += b.metrics.cache.hits + b.metrics.cache.victim_hits;
-            base_hits.1 += b.metrics.cache.misses + b.metrics.cache.hits + b.metrics.cache.victim_hits;
+            base_hits.1 +=
+                b.metrics.cache.misses + b.metrics.cache.hits + b.metrics.cache.victim_hits;
             ccm_hits.0 += c.metrics.cache.hits + c.metrics.cache.victim_hits;
-            ccm_hits.1 += c.metrics.cache.misses + c.metrics.cache.hits + c.metrics.cache.victim_hits;
+            ccm_hits.1 +=
+                c.metrics.cache.misses + c.metrics.cache.hits + c.metrics.cache.victim_hits;
         }
         rows.push(AblationRow {
             config: label,
@@ -315,6 +320,59 @@ pub fn ablation() -> Vec<AblationRow> {
             ccm_cycles,
             ccm_hit_rate: ccm_hits.0 as f64 / ccm_hits.1.max(1) as f64,
         });
+    }
+    rows
+}
+
+/// Checker results for one allocated suite module at one configuration.
+#[derive(Clone, Debug)]
+pub struct CheckRow {
+    /// Kernel or program name.
+    pub name: String,
+    /// The allocation strategy checked.
+    pub variant: Variant,
+    /// CCM capacity the module was allocated for.
+    pub ccm: u32,
+    /// Every diagnostic the checker produced.
+    pub diags: Vec<checker::Diagnostic>,
+}
+
+impl CheckRow {
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        checker::errors(&self.diags).len()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diags.len() - self.error_count()
+    }
+}
+
+/// Runs the post-allocation checker over the whole suite (every kernel
+/// and every program) under each variant at each CCM size.
+pub fn check_suite(sizes: &[u32]) -> Vec<CheckRow> {
+    let mut units: Vec<(String, iloc::Module)> = Vec::new();
+    for k in suite::kernels() {
+        units.push((k.name.to_string(), suite::build_optimized(&k)));
+    }
+    for p in suite::programs() {
+        units.push((p.name.to_string(), suite::build_program(&p)));
+    }
+    let mut rows = Vec::new();
+    for (name, m) in &units {
+        for &ccm in sizes {
+            for v in Variant::ALL {
+                let mut am = m.clone();
+                crate::pipeline::allocate_variant(&mut am, v, ccm);
+                rows.push(CheckRow {
+                    name: name.clone(),
+                    variant: v,
+                    ccm,
+                    diags: crate::pipeline::check_allocated(&am, ccm),
+                });
+            }
+        }
     }
     rows
 }

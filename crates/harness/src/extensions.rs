@@ -80,11 +80,7 @@ pub struct DesignRow {
 
 const ABLATION_KERNELS: [&str; 5] = ["fpppp", "radf5", "deseco", "urand", "erhs"];
 
-fn run_config(
-    opts: &opt::OptOptions,
-    alloc: &AllocConfig,
-    promote: bool,
-) -> DesignRow {
+fn run_config(opts: &opt::OptOptions, alloc: &AllocConfig, promote: bool) -> DesignRow {
     let machine = MachineConfig::with_ccm(512);
     let mut spilled = 0;
     let mut spill_bytes = 0;
@@ -115,8 +111,7 @@ fn run_config(
             .iter()
             .map(|f| f.frame.spill_bytes())
             .sum::<u32>();
-        let (_, metrics) =
-            sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
+        let (_, metrics) = sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
         cycles += metrics.cycles;
     }
     DesignRow {
@@ -142,10 +137,7 @@ pub fn design_ablation() -> Vec<DesignRow> {
         "baseline (opt, coalesce, no CCM)",
         run_config(&base_opts, &base_alloc, false),
     );
-    push(
-        "+ CCM post-pass",
-        run_config(&base_opts, &base_alloc, true),
-    );
+    push("+ CCM post-pass", run_config(&base_opts, &base_alloc, true));
     push(
         "no scalar optimization",
         run_config(
@@ -230,7 +222,10 @@ pub fn design_ablation() -> Vec<DesignRow> {
 pub fn render_sweep(points: &[SweepPoint]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "CCM sizing curve (post-pass w/ call graph, spilling kernels)");
+    let _ = writeln!(
+        s,
+        "CCM sizing curve (post-pass w/ call graph, spilling kernels)"
+    );
     let _ = writeln!(
         s,
         "{:>9} {:>12} {:>12} {:>10}",
@@ -363,8 +358,7 @@ pub fn scheduling_study() -> Vec<SchedRow> {
             if pre_sched {
                 sched::schedule_module(&mut m, 3);
             }
-            spilled += regalloc::allocate_module(&mut m, &AllocConfig::default())
-                .total_spilled();
+            spilled += regalloc::allocate_module(&mut m, &AllocConfig::default()).total_spilled();
             if promote {
                 ccm::postpass_promote(
                     &mut m,
@@ -378,8 +372,7 @@ pub fn scheduling_study() -> Vec<SchedRow> {
                 sched::schedule_module(&mut m, 3);
             }
             m.verify().expect("verifies");
-            let (_, metrics) =
-                sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
+            let (_, metrics) = sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
             stalls += metrics.stall_cycles;
             cycles += metrics.cycles;
         }
@@ -442,7 +435,10 @@ mod sched_tests {
         // Post-RA scheduling hides load latency.
         assert!(post.stalls < base.stalls, "{post:?} vs {base:?}");
         assert!(post.cycles <= base.cycles);
-        assert_eq!(post.spilled, base.spilled, "post-RA sched cannot change spills");
+        assert_eq!(
+            post.spilled, base.spilled,
+            "post-RA sched cannot change spills"
+        );
         // Pre-RA scheduling raises register pressure → more spills on
         // this load-adjacent kernel set (the paper's warning).
         assert!(pre.spilled > base.spilled, "{pre:?} vs {base:?}");

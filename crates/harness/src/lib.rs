@@ -7,7 +7,9 @@
 //! * [`experiments::figure`] — whole-program results (Figures 3/4);
 //! * [`experiments::ablation`] — §4.3 memory-hierarchy ablation;
 //! * [`extensions::ccm_sweep`] / [`extensions::design_ablation`] —
-//!   extension studies (CCM sizing curve, design-choice ablations).
+//!   extension studies (CCM sizing curve, design-choice ablations);
+//! * [`experiments::check_suite`] — the post-allocation static checker
+//!   run across the whole suite (`repro --check`).
 //!
 //! The `repro` binary prints them: `cargo run --release -p harness -- --all`.
 
@@ -22,9 +24,9 @@ pub use extensions::{
     render_sweep, scheduling_study, DesignRow, MultitaskRow, SchedRow, SweepPoint,
 };
 
-pub use experiments::{
-    ablation, figure, speedup_rows, table1, table3, table4_from, AblationRow, CompactionRow,
-    ProgramRow, SpeedupRow, Table4Cell,
-};
 pub use csv::export_all;
-pub use pipeline::{allocate_variant, measure, Measurement, Variant};
+pub use experiments::{
+    ablation, check_suite, figure, speedup_rows, table1, table3, table4_from, AblationRow,
+    CheckRow, CompactionRow, ProgramRow, SpeedupRow, Table4Cell,
+};
+pub use pipeline::{allocate_variant, check_allocated, measure, Measurement, Variant};

@@ -5,7 +5,8 @@ use harness::report;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--table1] [--table2] [--table3] [--table4] \
-         [--figure3] [--figure4] [--ablation] [--sweep] [--design] [--sched] [--multitask] [--csv DIR] [--all]"
+         [--figure3] [--figure4] [--ablation] [--sweep] [--design] [--sched] [--multitask] \
+         [--check[=json]] [--csv DIR] [--all]"
     );
     std::process::exit(2)
 }
@@ -54,6 +55,17 @@ fn main() {
     }
     if want("--multitask") {
         println!("{}", harness::render_multitask(&harness::multitask_study()));
+    }
+    if want("--check") || args.iter().any(|a| a == "--check=json") {
+        let rows = harness::check_suite(&[512, 1024]);
+        if args.iter().any(|a| a == "--check=json") {
+            print!("{}", report::render_check_json(&rows));
+        } else {
+            print!("{}", report::render_check_summary(&rows));
+        }
+        if rows.iter().any(|r| r.error_count() > 0) {
+            std::process::exit(1);
+        }
     }
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
         let dir = args

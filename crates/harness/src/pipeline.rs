@@ -91,16 +91,29 @@ pub fn allocate_variant(m: &mut Module, variant: Variant, ccm_size: u32) -> usiz
     }
 }
 
+/// Runs the post-allocation static checker on an allocated module,
+/// returning every diagnostic (the structural verifier is one of its
+/// passes, so this subsumes `m.verify()`).
+pub fn check_allocated(m: &Module, ccm_size: u32) -> Vec<checker::Diagnostic> {
+    checker::check_module(m, &checker::CheckerConfig::new(ccm_size))
+}
+
 /// Allocates (per `variant`) and simulates an optimized module, returning
 /// the measurement. `machine` controls CCM size and any cache model.
 ///
 /// # Panics
 ///
-/// Panics if the program traps — suite programs are expected to run.
+/// Panics if the allocated module fails the post-allocation checker, or
+/// if the program traps — suite programs are expected to run.
 pub fn measure(mut m: Module, variant: Variant, machine: &MachineConfig) -> Measurement {
     let spilled_ranges = allocate_variant(&mut m, variant, machine.ccm_size);
-    m.verify()
-        .unwrap_or_else(|e| panic!("allocated module fails verification: {e}"));
+    let diags = check_allocated(&m, machine.ccm_size);
+    if checker::has_errors(&diags) {
+        panic!(
+            "allocated module fails the post-allocation checker:\n{}",
+            checker::render_text(&diags)
+        );
+    }
     let (vals, metrics) = sim::run_module(&m, machine.clone(), "main")
         .unwrap_or_else(|e| panic!("simulation trapped: {e}"));
     let spill_bytes = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
@@ -125,7 +138,11 @@ mod tests {
         let machine = MachineConfig::with_ccm(512);
         let base = measure(m.clone(), Variant::Baseline, &machine);
         assert!(base.spilled_ranges > 0, "radf5 must spill");
-        for v in [Variant::PostPass, Variant::PostPassCallGraph, Variant::Integrated] {
+        for v in [
+            Variant::PostPass,
+            Variant::PostPassCallGraph,
+            Variant::Integrated,
+        ] {
             let r = measure(m.clone(), v, &machine);
             assert_eq!(
                 r.checksum.to_bits(),

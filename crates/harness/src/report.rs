@@ -10,10 +10,21 @@ use crate::experiments::{
 pub fn render_table1(rows: &[CompactionRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 1: Spill Memory Requirements and Compaction");
-    let _ = writeln!(s, "{:<12} {:>10} {:>10} {:>14}", "Routine", "Before", "After", "After/Before");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>10} {:>10} {:>14}",
+        "Routine", "Before", "After", "After/Before"
+    );
     let compacted: Vec<&CompactionRow> = rows.iter().filter(|r| r.after < r.before).collect();
     for r in &compacted {
-        let _ = writeln!(s, "{:<12} {:>10} {:>10} {:>14.2}", r.name, r.before, r.after, r.ratio());
+        let _ = writeln!(
+            s,
+            "{:<12} {:>10} {:>10} {:>14.2}",
+            r.name,
+            r.before,
+            r.after,
+            r.ratio()
+        );
     }
     let before: u32 = compacted.iter().map(|r| r.before).sum();
     let after: u32 = compacted.iter().map(|r| r.after).sum();
@@ -23,7 +34,11 @@ pub fn render_table1(rows: &[CompactionRow]) -> String {
         "TOTAL",
         before,
         after,
-        if before == 0 { 1.0 } else { after as f64 / before as f64 }
+        if before == 0 {
+            1.0
+        } else {
+            after as f64 / before as f64
+        }
     );
     let uncompacted = rows.len() - compacted.len();
     let _ = writeln!(
@@ -39,7 +54,10 @@ pub fn render_table1(rows: &[CompactionRow]) -> String {
 /// Renders Table 2 (speedups at one CCM size).
 pub fn render_table2(rows: &[SpeedupRow], ccm: u32) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Table 2: Speedups in dynamic cycle counts with {ccm}-byte CCM");
+    let _ = writeln!(
+        s,
+        "Table 2: Speedups in dynamic cycle counts with {ccm}-byte CCM"
+    );
     let _ = writeln!(
         s,
         "{:<12} {:>24} {:>13} {:>13} {:>13}",
@@ -47,9 +65,8 @@ pub fn render_table2(rows: &[SpeedupRow], ccm: u32) -> String {
     );
     for r in rows {
         let base = format!("{}({})", r.baseline.cycles, r.baseline.mem_cycles);
-        let cell = |m: &crate::pipeline::Measurement| {
-            format!("{:.2}({:.2})", r.rel(m), r.rel_mem(m))
-        };
+        let cell =
+            |m: &crate::pipeline::Measurement| format!("{:.2}({:.2})", r.rel(m), r.rel_mem(m));
         let _ = writeln!(
             s,
             "{:<12} {:>24} {:>13} {:>13} {:>13}",
@@ -80,9 +97,8 @@ pub fn render_table3(r512: &[SpeedupRow], r1024: &[SpeedupRow], improved: &[Stri
             continue;
         }
         let base = format!("{}({})", b.baseline.cycles, b.baseline.mem_cycles);
-        let cell = |m: &crate::pipeline::Measurement| {
-            format!("{:.2}({:.2})", b.rel(m), b.rel_mem(m))
-        };
+        let cell =
+            |m: &crate::pipeline::Measurement| format!("{:.2}({:.2})", b.rel(m), b.rel_mem(m));
         let _ = writeln!(
             s,
             "{:<12} {:>24} {:>13} {:>13} {:>13}",
@@ -107,7 +123,10 @@ pub fn render_table4(r512: &[SpeedupRow], r1024: &[SpeedupRow]) -> String {
     let c512 = table4_from(r512);
     let c1024 = table4_from(r1024);
     let mut s = String::new();
-    let _ = writeln!(s, "Table 4: Weighted-average percentage reduction in cycles");
+    let _ = writeln!(
+        s,
+        "Table 4: Weighted-average percentage reduction in cycles"
+    );
     let _ = writeln!(
         s,
         "{:<26} {:>13} {:>13}   {:>13} {:>13}",
@@ -130,7 +149,11 @@ pub fn render_table4_single(cells: &[Table4Cell; 3], ccm: u32) -> String {
     let _ = writeln!(s, "Weighted-average reduction, {ccm}-byte CCM");
     let names = ["Post-pass", "Post-pass w/ Call Graph", "Integrated"];
     for (n, c) in names.iter().zip(cells) {
-        let _ = writeln!(s, "{:<26} total {:>5.1}%  memory {:>5.1}%", n, c.total_pct, c.mem_pct);
+        let _ = writeln!(
+            s,
+            "{:<26} total {:>5.1}%  memory {:>5.1}%",
+            n, c.total_pct, c.mem_pct
+        );
     }
     s
 }
@@ -144,7 +167,10 @@ pub fn render_figure(rows: &[ProgramRow], ccm: u32) -> String {
         "Figure {}: Program performance with a {ccm}-byte CCM",
         if ccm <= 512 { 3 } else { 4 }
     );
-    let _ = writeln!(s, "(relative to no-CCM baseline; left: running time, right: memory-op time)");
+    let _ = writeln!(
+        s,
+        "(relative to no-CCM baseline; left: running time, right: memory-op time)"
+    );
     let improved: Vec<&ProgramRow> = rows.iter().filter(|r| r.improved()).collect();
     let _ = writeln!(s, "{} of {} programs improved:", improved.len(), rows.len());
     let labels = ["post-pass ", "pp w/ cg  ", "integrated"];
@@ -155,7 +181,15 @@ pub fn render_figure(rows: &[ProgramRow], ccm: u32) -> String {
                 let n = ((x - 0.70).max(0.0) / 0.30 * 40.0).round() as usize;
                 "#".repeat(n.min(40))
             };
-            let _ = writeln!(s, "  {} {:5.3} |{:<40}| {:5.3} |{:<40}|", labels[i], t, bar(*t), m, bar(*m));
+            let _ = writeln!(
+                s,
+                "  {} {:5.3} |{:<40}| {:5.3} |{:<40}|",
+                labels[i],
+                t,
+                bar(*t),
+                m,
+                bar(*m)
+            );
         }
     }
     s
@@ -164,8 +198,14 @@ pub fn render_figure(rows: &[ProgramRow], ccm: u32) -> String {
 /// Renders the §4.3 ablation table.
 pub fn render_ablation(rows: &[AblationRow]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Section 4.3 ablation: spills through the memory hierarchy vs CCM");
-    let _ = writeln!(s, "(five spill-heavy kernels; post-pass w/ call graph, 512-byte CCM)");
+    let _ = writeln!(
+        s,
+        "Section 4.3 ablation: spills through the memory hierarchy vs CCM"
+    );
+    let _ = writeln!(
+        s,
+        "(five spill-heavy kernels; post-pass w/ call graph, 512-byte CCM)"
+    );
     let _ = writeln!(
         s,
         "{:<30} {:>12} {:>9} {:>12} {:>9} {:>8}",
@@ -183,6 +223,63 @@ pub fn render_ablation(rows: &[AblationRow]) -> String {
             r.base_cycles as f64 / r.ccm_cycles as f64
         );
     }
+    s
+}
+
+/// Renders the suite-wide checker sweep as a text summary: aggregate
+/// counts, then every diagnostic of each module that was not clean.
+pub fn render_check_summary(rows: &[crate::experiments::CheckRow]) -> String {
+    let mut s = String::new();
+    let errors: usize = rows.iter().map(|r| r.error_count()).sum();
+    let warnings: usize = rows.iter().map(|r| r.warning_count()).sum();
+    let dirty = rows.iter().filter(|r| !r.diags.is_empty()).count();
+    let _ = writeln!(
+        s,
+        "Post-allocation checker: {} modules checked, {errors} errors, {warnings} warnings",
+        rows.len()
+    );
+    if dirty == 0 {
+        let _ = writeln!(s, "all clean");
+        return s;
+    }
+    for r in rows {
+        if r.diags.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "{} [{} / {}B CCM]: {} errors, {} warnings",
+            r.name,
+            r.variant.label(),
+            r.ccm,
+            r.error_count(),
+            r.warning_count()
+        );
+        for d in &r.diags {
+            let _ = writeln!(s, "  {d}");
+        }
+    }
+    s
+}
+
+/// Renders the checker sweep as a JSON array: one object per checked
+/// module with its name, variant, CCM size, and diagnostics.
+pub fn render_check_json(rows: &[crate::experiments::CheckRow]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n{{\"name\":\"{}\",\"variant\":\"{:?}\",\"ccm\":{},\"diagnostics\":{}}}",
+            r.name,
+            r.variant,
+            r.ccm,
+            checker::render_json(&r.diags).trim_end()
+        );
+    }
+    s.push_str("\n]\n");
     s
 }
 
@@ -207,7 +304,10 @@ mod tests {
         ];
         let s = render_table1(&rows);
         assert!(s.contains("alpha"));
-        assert!(!s.contains("beta "), "uncompacted rows are summarized, not listed");
+        assert!(
+            !s.contains("beta "),
+            "uncompacted rows are summarized, not listed"
+        );
         assert!(s.contains("TOTAL"));
         assert!(s.contains("(1 of 2 spilling routines compacted; 1 unchanged)"));
         assert!(s.contains("0.40"));

@@ -44,7 +44,10 @@ impl Block {
 
     /// The block's terminator, if present and well-formed.
     pub fn terminator(&self) -> Option<&Op> {
-        self.instrs.last().map(|i| &i.op).filter(|op| op.is_terminator())
+        self.instrs
+            .last()
+            .map(|i| &i.op)
+            .filter(|op| op.is_terminator())
     }
 
     /// Mutable access to the terminator.
@@ -57,7 +60,9 @@ impl Block {
 
     /// Successor block ids, taken from the terminator.
     pub fn successors(&self) -> Vec<BlockId> {
-        self.terminator().map(|t| t.successors()).unwrap_or_default()
+        self.terminator()
+            .map(|t| t.successors())
+            .unwrap_or_default()
     }
 
     /// Number of φ-nodes at the head of the block.
@@ -107,9 +112,7 @@ mod tests {
     #[test]
     fn insert_before_terminator_preserves_order() {
         let mut b = Block::new("L0");
-        b.instrs.push(Instr::new(Op::Jump {
-            target: BlockId(1),
-        }));
+        b.instrs.push(Instr::new(Op::Jump { target: BlockId(1) }));
         b.insert_before_terminator(Instr::new(Op::LoadI {
             imm: 7,
             dst: Reg::gpr(64),

@@ -109,13 +109,23 @@ impl FuncBuilder {
 
     fn ibin(&mut self, kind: IBinKind, lhs: Reg, rhs: Reg) -> Reg {
         let dst = self.vreg(RegClass::Gpr);
-        self.emit(Op::IBin { kind, lhs, rhs, dst });
+        self.emit(Op::IBin {
+            kind,
+            lhs,
+            rhs,
+            dst,
+        });
         dst
     }
 
     fn ibini(&mut self, kind: IBinKind, lhs: Reg, imm: i64) -> Reg {
         let dst = self.vreg(RegClass::Gpr);
-        self.emit(Op::IBinI { kind, lhs, imm, dst });
+        self.emit(Op::IBinI {
+            kind,
+            lhs,
+            imm,
+            dst,
+        });
         dst
     }
 
@@ -163,7 +173,12 @@ impl FuncBuilder {
 
     fn fbin(&mut self, kind: FBinKind, lhs: Reg, rhs: Reg) -> Reg {
         let dst = self.vreg(RegClass::Fpr);
-        self.emit(Op::FBin { kind, lhs, rhs, dst });
+        self.emit(Op::FBin {
+            kind,
+            lhs,
+            rhs,
+            dst,
+        });
         dst
     }
 
@@ -192,14 +207,24 @@ impl FuncBuilder {
     /// Integer compare producing 0/1.
     pub fn icmp(&mut self, kind: CmpKind, lhs: Reg, rhs: Reg) -> Reg {
         let dst = self.vreg(RegClass::Gpr);
-        self.emit(Op::ICmp { kind, lhs, rhs, dst });
+        self.emit(Op::ICmp {
+            kind,
+            lhs,
+            rhs,
+            dst,
+        });
         dst
     }
 
     /// Floating compare producing 0/1 in an integer register.
     pub fn fcmp(&mut self, kind: CmpKind, lhs: Reg, rhs: Reg) -> Reg {
         let dst = self.vreg(RegClass::Gpr);
-        self.emit(Op::FCmp { kind, lhs, rhs, dst });
+        self.emit(Op::FCmp {
+            kind,
+            lhs,
+            rhs,
+            dst,
+        });
         dst
     }
 
@@ -300,7 +325,12 @@ impl FuncBuilder {
     }
 
     /// Direct call returning `ret_classes.len()` fresh registers.
-    pub fn call(&mut self, callee: impl Into<String>, args: &[Reg], ret_classes: &[RegClass]) -> Vec<Reg> {
+    pub fn call(
+        &mut self,
+        callee: impl Into<String>,
+        args: &[Reg],
+        ret_classes: &[RegClass],
+    ) -> Vec<Reg> {
         let rets: Vec<Reg> = ret_classes.iter().map(|c| self.vreg(*c)).collect();
         self.emit(Op::Call {
             callee: callee.into(),
@@ -350,7 +380,10 @@ impl FuncBuilder {
     ) -> Reg {
         assert!(step != 0, "loop step must be nonzero");
         let iv = self.vreg(RegClass::Gpr);
-        self.emit(Op::LoadI { imm: start, dst: iv });
+        self.emit(Op::LoadI {
+            imm: start,
+            dst: iv,
+        });
         let n = self.func.blocks.len();
         let header = self.block(format!("loop{n}_header"));
         let body_b = self.block(format!("loop{n}_body"));

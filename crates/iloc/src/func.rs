@@ -377,9 +377,15 @@ mod tests {
         let e = f.entry();
         let b1 = f.add_block("L1");
         let b2 = f.add_block("L2");
-        f.block_mut(e).instrs.push(Instr::new(Op::Jump { target: b1 }));
-        f.block_mut(b1).instrs.push(Instr::new(Op::Jump { target: b2 }));
-        f.block_mut(b2).instrs.push(Instr::new(Op::Ret { vals: vec![] }));
+        f.block_mut(e)
+            .instrs
+            .push(Instr::new(Op::Jump { target: b1 }));
+        f.block_mut(b1)
+            .instrs
+            .push(Instr::new(Op::Jump { target: b2 }));
+        f.block_mut(b2)
+            .instrs
+            .push(Instr::new(Op::Ret { vals: vec![] }));
         let rpo = f.reverse_postorder();
         assert_eq!(rpo, vec![e, b1, b2]);
     }
@@ -389,7 +395,9 @@ mod tests {
         let mut f = Function::new("t");
         let e = f.entry();
         let dead = f.add_block("dead");
-        f.block_mut(e).instrs.push(Instr::new(Op::Ret { vals: vec![] }));
+        f.block_mut(e)
+            .instrs
+            .push(Instr::new(Op::Ret { vals: vec![] }));
         f.block_mut(dead)
             .instrs
             .push(Instr::new(Op::Ret { vals: vec![] }));
@@ -408,7 +416,9 @@ mod tests {
             taken: b1,
             not_taken: b1,
         }));
-        f.block_mut(b1).instrs.push(Instr::new(Op::Ret { vals: vec![] }));
+        f.block_mut(b1)
+            .instrs
+            .push(Instr::new(Op::Ret { vals: vec![] }));
         let preds = f.predecessors();
         assert_eq!(preds[b1.index()], vec![e, e]);
     }

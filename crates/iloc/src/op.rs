@@ -362,9 +362,10 @@ impl Op {
                 f(*rhs);
             }
             Op::IBinI { lhs, .. } => f(*lhs),
-            Op::I2I { src, .. } | Op::F2F { src, .. } | Op::I2F { src, .. } | Op::F2I { src, .. } => {
-                f(*src)
-            }
+            Op::I2I { src, .. }
+            | Op::F2F { src, .. }
+            | Op::I2F { src, .. }
+            | Op::F2I { src, .. } => f(*src),
             Op::Load { addr, .. } | Op::FLoad { addr, .. } => f(*addr),
             Op::LoadAI { addr, .. } | Op::FLoadAI { addr, .. } => f(*addr),
             Op::Store { val, addr } | Op::FStore { val, addr } => {
@@ -464,9 +465,10 @@ impl Op {
                 *rhs = f(*rhs);
             }
             Op::IBinI { lhs, .. } => *lhs = f(*lhs),
-            Op::I2I { src, .. } | Op::F2F { src, .. } | Op::I2F { src, .. } | Op::F2I { src, .. } => {
-                *src = f(*src)
-            }
+            Op::I2I { src, .. }
+            | Op::F2F { src, .. }
+            | Op::I2F { src, .. }
+            | Op::F2I { src, .. } => *src = f(*src),
             Op::Load { addr, .. } | Op::FLoad { addr, .. } => *addr = f(*addr),
             Op::LoadAI { addr, .. } | Op::FLoadAI { addr, .. } => *addr = f(*addr),
             Op::Store { val, addr } | Op::FStore { val, addr } => {
@@ -722,9 +724,7 @@ mod tests {
 
     #[test]
     fn terminator_successors() {
-        let j = Op::Jump {
-            target: BlockId(3),
-        };
+        let j = Op::Jump { target: BlockId(3) };
         assert_eq!(j.successors(), vec![BlockId(3)]);
         let c = Op::Cbr {
             cond: r(64),

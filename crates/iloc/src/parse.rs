@@ -210,12 +210,18 @@ fn parse_func_header(ln: usize, line: &str) -> PResult<(Function, ())> {
     let mut f = Function::new(name);
     f.blocks.clear();
     let params_str = &rest[open + 1..close];
-    for p in params_str.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+    for p in params_str
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
         f.params.push(parse_reg(ln, p)?);
     }
     let mut tail = rest[close + 1..].trim();
     if let Some(r) = tail.strip_prefix("rets ") {
-        let sp = r.find(" locals").ok_or_else(|| perr(ln, "missing `locals`"))?;
+        let sp = r
+            .find(" locals")
+            .ok_or_else(|| perr(ln, "missing `locals`"))?;
         for c in r[..sp].split(',').map(str::trim) {
             f.ret_classes.push(match c {
                 "gpr" => RegClass::Gpr,
@@ -281,7 +287,8 @@ fn parse_reg(ln: usize, s: &str) -> PResult<Reg> {
 }
 
 fn parse_imm(ln: usize, s: &str) -> PResult<i64> {
-    s.parse().map_err(|_| perr(ln, format!("bad immediate `{s}`")))
+    s.parse()
+        .map_err(|_| perr(ln, format!("bad immediate `{s}`")))
 }
 
 fn parse_fimm(ln: usize, s: &str) -> PResult<f64> {
@@ -375,13 +382,20 @@ fn parse_op(ln: usize, line: &str, labels: &HashMap<String, BlockId>) -> PResult
     // Helper: split "ARGS => DSTS".
     let arrow = |s: &str| -> (String, Option<String>) {
         match s.find("=>") {
-            Some(p) => (s[..p].trim().to_string(), Some(s[p + 2..].trim().to_string())),
+            Some(p) => (
+                s[..p].trim().to_string(),
+                Some(s[p + 2..].trim().to_string()),
+            ),
             None => (s.trim().to_string(), None),
         }
     };
 
     let (args_s, dst_s) = arrow(rest);
-    let need_dst = || dst_s.clone().ok_or_else(|| perr(ln, "missing `=>` destination"));
+    let need_dst = || {
+        dst_s
+            .clone()
+            .ok_or_else(|| perr(ln, "missing `=>` destination"))
+    };
 
     match mn {
         "nop" => Ok(Op::Nop),
@@ -529,7 +543,9 @@ fn parse_op(ln: usize, line: &str, labels: &HashMap<String, BlockId>) -> PResult
             let close = rest.find(']').ok_or_else(|| perr(ln, "phi needs `]`"))?;
             let mut args = Vec::new();
             for pair in commas(&rest[open + 1..close]) {
-                let colon = pair.find(':').ok_or_else(|| perr(ln, "phi arg needs `:`"))?;
+                let colon = pair
+                    .find(':')
+                    .ok_or_else(|| perr(ln, "phi arg needs `:`"))?;
                 let b = lookup_label(ln, labels, pair[..colon].trim())?;
                 let r = parse_reg(ln, pair[colon + 1..].trim())?;
                 args.push((b, r));
@@ -664,19 +680,17 @@ mod tests {
 
     #[test]
     fn comments_are_stripped() {
-        let m = parse_module(
-            "; leading comment\nfunc f() locals 0 {\nentry:\n    ret ; trailing\n}\n",
-        )
-        .unwrap();
+        let m =
+            parse_module("; leading comment\nfunc f() locals 0 {\nentry:\n    ret ; trailing\n}\n")
+                .unwrap();
         assert_eq!(m.functions[0].instr_count(), 1);
     }
 
     #[test]
     fn forward_branch_targets_resolve() {
-        let m = parse_module(
-            "func f() locals 0 {\nentry:\n    jump -> later\nlater:\n    ret\n}\n",
-        )
-        .unwrap();
+        let m =
+            parse_module("func f() locals 0 {\nentry:\n    jump -> later\nlater:\n    ret\n}\n")
+                .unwrap();
         let f = &m.functions[0];
         assert_eq!(f.successors(f.entry()), vec![BlockId(1)]);
     }

@@ -26,19 +26,44 @@ impl fmt::Display for OpPrinter<'_> {
             Op::LoadI { imm, dst } => write!(w, "loadI {} => {}", imm, dst),
             Op::LoadF { imm, dst } => write!(w, "loadF {:?} => {}", imm, dst),
             Op::LoadSym { sym, dst } => write!(w, "loadSym @{} => {}", sym, dst),
-            Op::IBin { kind, lhs, rhs, dst } => {
+            Op::IBin {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => {
                 write!(w, "{} {}, {} => {}", kind.mnemonic(), lhs, rhs, dst)
             }
-            Op::IBinI { kind, lhs, imm, dst } => {
+            Op::IBinI {
+                kind,
+                lhs,
+                imm,
+                dst,
+            } => {
                 write!(w, "{}I {}, {} => {}", kind.mnemonic(), lhs, imm, dst)
             }
-            Op::FBin { kind, lhs, rhs, dst } => {
+            Op::FBin {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => {
                 write!(w, "{} {}, {} => {}", kind.mnemonic(), lhs, rhs, dst)
             }
-            Op::ICmp { kind, lhs, rhs, dst } => {
+            Op::ICmp {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => {
                 write!(w, "cmp_{} {}, {} => {}", kind.mnemonic(), lhs, rhs, dst)
             }
-            Op::FCmp { kind, lhs, rhs, dst } => {
+            Op::FCmp {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => {
                 write!(w, "fcmp_{} {}, {} => {}", kind.mnemonic(), lhs, rhs, dst)
             }
             Op::I2I { src, dst } => write!(w, "i2i {} => {}", src, dst),

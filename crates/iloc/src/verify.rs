@@ -324,13 +324,9 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
                             }
                         }
                     }
-                    Op::LoadSym { sym, .. }
-                        if m.global(sym).is_none() => {
-                            return Err(err(
-                                &f.name,
-                                format!("loadSym of unknown global `{sym}`"),
-                            ));
-                        }
+                    Op::LoadSym { sym, .. } if m.global(sym).is_none() => {
+                        return Err(err(&f.name, format!("loadSym of unknown global `{sym}`")));
+                    }
                     _ => {}
                 }
             }
@@ -433,7 +429,9 @@ mod tests {
         let e = f.entry();
         let j = f.add_block("join");
         let other = f.add_block("other");
-        f.block_mut(e).instrs.push(Instr::new(Op::Jump { target: j }));
+        f.block_mut(e)
+            .instrs
+            .push(Instr::new(Op::Jump { target: j }));
         f.block_mut(j).instrs.push(Instr::new(Op::Phi {
             dst: Reg::gpr(70),
             args: vec![(other, Reg::gpr(64))], // `other` is not a pred of join

@@ -158,7 +158,14 @@ pub fn gvn(f: &mut Function) -> usize {
         }
     }
 
-    walk(f, &dom, f.entry(), &mut replacement, &mut table, &mut removed);
+    walk(
+        f,
+        &dom,
+        f.entry(),
+        &mut replacement,
+        &mut table,
+        &mut removed,
+    );
 
     // Final sweep: resolve any uses recorded before their replacement, and
     // drop the Nops.
@@ -202,7 +209,16 @@ mod tests {
         to_ssa(&mut f);
         let removed = gvn(&mut f);
         assert_eq!(removed, 1);
-        assert_eq!(count_op(&f, |o| matches!(o, Op::IBin { kind: IBinKind::Add, .. })), 1);
+        assert_eq!(
+            count_op(&f, |o| matches!(
+                o,
+                Op::IBin {
+                    kind: IBinKind::Add,
+                    ..
+                }
+            )),
+            1
+        );
     }
 
     #[test]
@@ -276,7 +292,13 @@ mod tests {
         to_ssa(&mut f);
         gvn(&mut f);
         assert_eq!(
-            count_op(&f, |o| matches!(o, Op::IBin { kind: IBinKind::Mult, .. })),
+            count_op(&f, |o| matches!(
+                o,
+                Op::IBin {
+                    kind: IBinKind::Mult,
+                    ..
+                }
+            )),
             2,
             "sibling blocks must not share:\n{f}"
         );

@@ -219,9 +219,11 @@ mod tests {
             .block_ids()
             .find(|b| f.block(*b).label.contains("body"))
             .unwrap();
-        let body_has_const = f.block(body).instrs.iter().any(|i| {
-            matches!(i.op, Op::LoadF { .. })
-        });
+        let body_has_const = f
+            .block(body)
+            .instrs
+            .iter()
+            .any(|i| matches!(i.op, Op::LoadF { .. }));
         assert!(!body_has_const, "constants must be hoisted:\n{f}");
     }
 
@@ -265,7 +267,11 @@ mod tests {
         let mut load_in_loop = false;
         for l in &loops.loops {
             for &b in &l.blocks {
-                if f.block(b).instrs.iter().any(|i| matches!(i.op, Op::LoadAI { .. })) {
+                if f.block(b)
+                    .instrs
+                    .iter()
+                    .any(|i| matches!(i.op, Op::LoadAI { .. }))
+                {
                     load_in_loop = true;
                 }
             }
@@ -298,7 +304,13 @@ mod tests {
         for l in &loops.loops {
             for &b in &l.blocks {
                 if f.block(b).instrs.iter().any(|i| {
-                    matches!(i.op, Op::IBin { kind: iloc::IBinKind::Div, .. })
+                    matches!(
+                        i.op,
+                        Op::IBin {
+                            kind: iloc::IBinKind::Div,
+                            ..
+                        }
+                    )
                 }) {
                     div_in_loop = true;
                 }
@@ -338,7 +350,10 @@ mod tests {
         let dom = Dominators::compute(&f);
         let loops = LoopInfo::compute(&f, &dom);
         for b in f.block_ids() {
-            if f.block(b).instrs.iter().any(|i| matches!(i.op, Op::LoadF { imm, .. } if imm == 3.0))
+            if f.block(b)
+                .instrs
+                .iter()
+                .any(|i| matches!(i.op, Op::LoadF { imm, .. } if imm == 3.0))
             {
                 assert_eq!(loops.depth(b), 0, "constant still at depth > 0");
             }

@@ -24,7 +24,12 @@ pub fn peephole(f: &mut Function) -> usize {
                 Op::LoadI { imm, dst } => {
                     consts.insert(*dst, *imm);
                 }
-                Op::IBin { kind, lhs, rhs, dst } => {
+                Op::IBin {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
                     // Prefer folding to an immediate form when either side
                     // is a known block-local constant.
                     if let Some(&c) = consts.get(rhs) {
@@ -45,7 +50,12 @@ pub fn peephole(f: &mut Function) -> usize {
                         }
                     }
                 }
-                Op::IBinI { kind, lhs, imm, dst } => {
+                Op::IBinI {
+                    kind,
+                    lhs,
+                    imm,
+                    dst,
+                } => {
                     new_op = simplify_ibini(*kind, *lhs, *imm, *dst);
                 }
                 Op::FBin {
@@ -64,11 +74,19 @@ pub fn peephole(f: &mut Function) -> usize {
             }
 
             // A second chance: simplify whatever we just created.
-            if let Some(Op::IBinI { kind, lhs, imm, dst }) = new_op {
-                new_op = Some(
-                    simplify_ibini(kind, lhs, imm, dst)
-                        .unwrap_or(Op::IBinI { kind, lhs, imm, dst }),
-                );
+            if let Some(Op::IBinI {
+                kind,
+                lhs,
+                imm,
+                dst,
+            }) = new_op
+            {
+                new_op = Some(simplify_ibini(kind, lhs, imm, dst).unwrap_or(Op::IBinI {
+                    kind,
+                    lhs,
+                    imm,
+                    dst,
+                }));
             }
 
             if let Some(new) = new_op {
@@ -148,7 +166,15 @@ mod tests {
         fb.ret(&[r]);
         let mut f = fb.finish();
         assert_eq!(peephole(&mut f), 1);
-        match first_matching(&f, |o| matches!(o, Op::IBinI { kind: IBinKind::Shl, .. })) {
+        match first_matching(&f, |o| {
+            matches!(
+                o,
+                Op::IBinI {
+                    kind: IBinKind::Shl,
+                    ..
+                }
+            )
+        }) {
             Some(Op::IBinI { imm, .. }) => assert_eq!(imm, 3),
             other => panic!("expected shift, got {other:?}"),
         }

@@ -139,7 +139,12 @@ pub fn sccp(f: &mut Function) -> usize {
         match op {
             Op::LoadI { imm, dst } => defs.push((*dst, Lattice::Int(*imm as i32 as i64))),
             Op::LoadF { imm, dst } => defs.push((*dst, Lattice::Float(*imm))),
-            Op::IBin { kind, lhs, rhs, dst } => {
+            Op::IBin {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => {
                 let v = match (lat(value, *lhs), lat(value, *rhs)) {
                     (Lattice::Int(a), Lattice::Int(b)) => {
                         eval_ibin(*kind, a, b).map_or(Lattice::Bottom, Lattice::Int)
@@ -149,7 +154,12 @@ pub fn sccp(f: &mut Function) -> usize {
                 };
                 defs.push((*dst, v));
             }
-            Op::IBinI { kind, lhs, imm, dst } => {
+            Op::IBinI {
+                kind,
+                lhs,
+                imm,
+                dst,
+            } => {
                 let v = match lat(value, *lhs) {
                     Lattice::Int(a) => {
                         eval_ibin(*kind, a, *imm).map_or(Lattice::Bottom, Lattice::Int)
@@ -159,7 +169,12 @@ pub fn sccp(f: &mut Function) -> usize {
                 };
                 defs.push((*dst, v));
             }
-            Op::FBin { kind, lhs, rhs, dst } => {
+            Op::FBin {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => {
                 let v = match (lat(value, *lhs), lat(value, *rhs)) {
                     (Lattice::Float(a), Lattice::Float(b)) => {
                         Lattice::Float(eval_fbin(*kind, a, b))
@@ -169,7 +184,12 @@ pub fn sccp(f: &mut Function) -> usize {
                 };
                 defs.push((*dst, v));
             }
-            Op::ICmp { kind, lhs, rhs, dst } => {
+            Op::ICmp {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => {
                 let v = match (lat(value, *lhs), lat(value, *rhs)) {
                     (Lattice::Int(a), Lattice::Int(b)) => Lattice::Int(eval_icmp(*kind, a, b)),
                     (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
@@ -177,7 +197,12 @@ pub fn sccp(f: &mut Function) -> usize {
                 };
                 defs.push((*dst, v));
             }
-            Op::FCmp { kind, lhs, rhs, dst } => {
+            Op::FCmp {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => {
                 let v = match (lat(value, *lhs), lat(value, *rhs)) {
                     (Lattice::Float(a), Lattice::Float(b)) => Lattice::Int(eval_fcmp(*kind, a, b)),
                     (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
@@ -335,7 +360,12 @@ pub fn sccp(f: &mut Function) -> usize {
         let instrs = &mut f.block_mut(b).instrs;
         if instrs
             .iter()
-            .skip(instrs.iter().take_while(|i| matches!(i.op, Op::Phi { .. })).count())
+            .skip(
+                instrs
+                    .iter()
+                    .take_while(|i| matches!(i.op, Op::Phi { .. }))
+                    .count(),
+            )
             .any(|i| matches!(i.op, Op::Phi { .. }))
         {
             let (phis, rest): (Vec<_>, Vec<_>) = std::mem::take(instrs)
@@ -367,9 +397,11 @@ mod tests {
         let n = sccp(&mut f);
         assert!(n >= 1);
         // The mult must have become loadI 42.
-        let found = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
-            matches!(i.op, Op::LoadI { imm: 42, .. })
-        });
+        let found = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.op, Op::LoadI { imm: 42, .. }));
         assert!(found, "expected folded 42:\n{f}");
     }
 
@@ -423,9 +455,11 @@ mod tests {
         let mut f = fb.finish();
         to_ssa(&mut f);
         sccp(&mut f);
-        let found = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
-            matches!(i.op, Op::LoadI { imm: 6, .. })
-        });
+        let found = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.op, Op::LoadI { imm: 6, .. }));
         assert!(found, "expected x+1 folded to 6:\n{f}");
     }
 
@@ -452,11 +486,15 @@ mod tests {
         to_ssa(&mut f);
         sccp(&mut f);
         // No folded 6 or 10 — the add must remain.
-        let still_add = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .any(|i| matches!(i.op, Op::IBinI { kind: IBinKind::Add, .. }));
+        let still_add = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(
+                i.op,
+                Op::IBinI {
+                    kind: IBinKind::Add,
+                    ..
+                }
+            )
+        });
         assert!(still_add);
     }
 
@@ -483,9 +521,11 @@ mod tests {
         let mut f = fb.finish();
         to_ssa(&mut f);
         sccp(&mut f);
-        let found = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
-            matches!(i.op, Op::LoadI { imm: 6, .. })
-        });
+        let found = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.op, Op::LoadI { imm: 6, .. }));
         assert!(found, "φ should see only the executable arm:\n{f}");
     }
 
@@ -500,11 +540,15 @@ mod tests {
         let mut f = fb.finish();
         to_ssa(&mut f);
         sccp(&mut f);
-        let still_div = f
-            .blocks
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .any(|i| matches!(i.op, Op::IBin { kind: IBinKind::Div, .. }));
+        let still_div = f.blocks.iter().flat_map(|b| &b.instrs).any(|i| {
+            matches!(
+                i.op,
+                Op::IBin {
+                    kind: IBinKind::Div,
+                    ..
+                }
+            )
+        });
         assert!(still_div, "div by zero must not be folded away");
     }
 }

@@ -1,0 +1,69 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Clone + fmt::Debug + 'static {
+    /// Draws one value covering the full domain of the type.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the entire domain of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> f64 {
+        // Finite, well-distributed doubles; NaN/inf generation is not
+        // useful for the numeric kernels under test.
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2e6 - 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn bool_produces_both_values() {
+        let s = any::<bool>();
+        let mut r = TestRng::new(3);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[s.new_value(&mut r) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn f64_is_finite() {
+        let s = any::<f64>();
+        let mut r = TestRng::new(4);
+        for _ in 0..100 {
+            assert!(s.new_value(&mut r).is_finite());
+        }
+    }
+}

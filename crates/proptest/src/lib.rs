@@ -1,0 +1,165 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so this
+//! workspace vendors the subset of proptest's API that its tests use:
+//! the [`proptest!`] macro, `prop_assert*`, [`prop_oneof!`], integer
+//! range / tuple / `Just` / `any` strategies, `prop_map`,
+//! `prop_recursive`, and `prop::collection::vec`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * Generation is **deterministic**: every test function derives its
+//!   case seeds from its own name, so runs are reproducible without any
+//!   persistence files (`failure_persistence` is accepted and ignored).
+//! * There is **no shrinking**. On failure the full generated input is
+//!   printed instead; with the small input sizes used here that has
+//!   proven sufficient for debugging.
+//! * Only the strategy combinators listed above exist. Adding more is
+//!   intentional API growth, not a porting exercise.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` works like upstream.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface used by the tests: strategies, config,
+/// errors, and the macros.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in prop::collection::vec(0..5u8, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let __strategy = ($($strategy,)+);
+            $crate::test_runner::run_cases(stringify!($name), &__config, |__rng, __desc| {
+                let __vals = $crate::strategy::Strategy::new_value(&__strategy, __rng);
+                *__desc = format!("{:?}", &__vals);
+                let ($($arg,)+) = __vals;
+                let __run = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __run()
+            });
+        }
+    )*};
+}
+
+/// Fails the enclosing property (by early-returning a
+/// [`test_runner::TestCaseError`]) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` specialised to equality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert!` specialised to inequality, printing both operands.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`\n{}",
+            __l,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($arm))),+
+        ])
+    };
+}

@@ -1,0 +1,283 @@
+//! The [`Strategy`] trait and the combinators the workspace uses:
+//! integer ranges, tuples, [`Just`], [`Union`] (behind `prop_oneof!`),
+//! `prop_map`, `prop_recursive`, and [`BoxedStrategy`].
+
+use crate::test_runner::TestRng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+/// A generator of test values. Unlike upstream there is no value tree
+/// and no shrinking: a strategy simply produces a value from the
+/// deterministic [`TestRng`].
+pub trait Strategy: 'static {
+    /// The type of value this strategy produces.
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy so heterogeneous alternatives can live
+    /// in one collection (and so recursion can tie the knot).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy::new(self)
+    }
+
+    /// Maps generated values through `func`.
+    fn prop_map<T, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: Clone + fmt::Debug + 'static,
+        F: Fn(Self::Value) -> T + 'static,
+    {
+        Map { source: self, func }
+    }
+
+    /// Builds a recursive strategy: `self` generates the leaves, and
+    /// `recurse` wraps an inner strategy into the compound cases.
+    ///
+    /// `depth` bounds the nesting; `_desired_size` and
+    /// `_expected_branch_size` are accepted for upstream compatibility
+    /// but unused — instead each level is biased 2:1 toward leaves,
+    /// which keeps generated trees small.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new_weighted(vec![(2, leaf.clone()), (1, deeper)]).boxed();
+        }
+        strat
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> BoxedStrategy<T> {
+    fn new<S: Strategy<Value = T>>(inner: S) -> Self {
+        BoxedStrategy {
+            generate: Rc::new(move |rng| inner.new_value(rng)),
+        }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    func: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + fmt::Debug + 'static,
+    F: Fn(S::Value) -> T + 'static,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.func)(self.source.new_value(rng))
+    }
+}
+
+/// Weighted choice between same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Clone + fmt::Debug + 'static> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms. Weights must not
+    /// all be zero.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.new_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+/// `any::<T>()` support: uniform draws over a type's whole domain.
+pub struct Any<A>(pub(crate) PhantomData<A>);
+
+impl<A: crate::arbitrary::Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xDEAD_BEEF)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (-8i64..8).new_value(&mut r);
+            assert!((-8..8).contains(&v));
+            let u = (3usize..4).new_value(&mut r);
+            assert_eq!(u, 3);
+            let w = (0..=255u8).new_value(&mut r);
+            let _ = w; // full domain, nothing to assert beyond type
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut r = rng();
+        let s = (0usize..4, 10i64..20).prop_map(|(a, b)| a as i64 + b);
+        for _ in 0..50 {
+            let v = s.new_value(&mut r);
+            assert!((10..24).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_honours_weights() {
+        let mut r = rng();
+        let s = Union::new_weighted(vec![(1, Just(0u8).boxed()), (3, Just(1u8).boxed())]);
+        let ones: usize = (0..400).map(|_| s.new_value(&mut r) as usize).sum();
+        assert!(ones > 200, "weighted arm should dominate, got {ones}/400");
+    }
+
+    #[test]
+    fn recursion_is_depth_bounded() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = Just(T::Leaf).prop_recursive(3, 8, 2, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(T::Node)
+        });
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(depth(&s.new_value(&mut r)) <= 3);
+        }
+    }
+}

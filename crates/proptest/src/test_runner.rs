@@ -1,0 +1,197 @@
+//! Deterministic case runner: a splitmix64 PRNG seeded from the test
+//! name, a config struct, and the failure type `prop_assert!` returns.
+
+use std::fmt;
+
+/// Deterministic pseudo-random source handed to strategies.
+///
+/// splitmix64: full-period, passes the statistical tests that matter at
+/// this scale, and needs no external crates.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`0` when `n == 0`). The modulo bias is
+    /// negligible for the small ranges test strategies draw from.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input was rejected (not counted as a failure upstream; here
+    /// it is treated like a failure so rejection loops cannot hide).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property with the given explanation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected input with the given explanation.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Accepted-and-ignored stand-in for upstream's persistence selector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FailurePersistence;
+
+/// Runner configuration. Only `cases` has an effect; the other fields
+/// exist so upstream-style struct literals keep compiling.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Ignored (determinism makes persistence files unnecessary).
+    pub failure_persistence: Option<FailurePersistence>,
+    /// Ignored (this runner does not shrink).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            failure_persistence: None,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// FNV-1a over the test name, so each property gets its own stable
+/// seed sequence.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const DESC_LIMIT: usize = 4096;
+
+/// Runs `config.cases` deterministic cases of one property. The closure
+/// writes a debug rendering of the generated input into its second
+/// argument before exercising the property, so both assertion failures
+/// and panics can report the offending input.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), TestCaseError>,
+{
+    let base = name_seed(name);
+    for i in 0..config.cases {
+        let mut rng =
+            TestRng::new(base.wrapping_add((i as u64).wrapping_mul(0xA076_1D64_78BD_642F)));
+        let mut desc = String::new();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, &mut desc)));
+        if desc.len() > DESC_LIMIT {
+            desc.truncate(DESC_LIMIT);
+            desc.push_str("… (truncated)");
+        }
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "property `{name}` failed at case {i}/{}:\n{e}\ninput: {desc}",
+                config.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "property `{name}` panicked at case {i}/{}\ninput: {desc}",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = TestRng::new(7);
+        for n in 1..100u64 {
+            for _ in 0..8 {
+                assert!(r.below(n) < n);
+            }
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn run_cases_runs_the_requested_count() {
+        let mut n = 0;
+        let config = ProptestConfig {
+            cases: 17,
+            ..ProptestConfig::default()
+        };
+        run_cases("count", &config, |_, _| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn run_cases_reports_failures() {
+        run_cases("fails", &ProptestConfig::default(), |_, d| {
+            d.push_str("input");
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -644,14 +644,7 @@ mod remat_tests {
 pub fn check_register_bounds(f: &Function, cfg: &AllocConfig) -> Result<(), Reg> {
     let mut bad = None;
     f.for_each_reg(|r| {
-        if bad.is_some() {
-            return;
-        }
-        let ok = match r.class() {
-            RegClass::Gpr => r == Reg::RARP || (1..=cfg.gpr_k).contains(&r.index()),
-            RegClass::Fpr => r.index() < cfg.fpr_k,
-        };
-        if !ok {
+        if bad.is_none() && !cfg.is_valid_physical(r) {
             bad = Some(r);
         }
     });
@@ -689,9 +682,6 @@ mod bounds_tests {
         fb.emit(Op::LoadI { imm: 0, dst: bad });
         fb.ret(&[]);
         let f = fb.finish();
-        assert_eq!(
-            check_register_bounds(&f, &AllocConfig::tiny(4)),
-            Err(bad)
-        );
+        assert_eq!(check_register_bounds(&f, &AllocConfig::tiny(4)), Err(bad));
     }
 }

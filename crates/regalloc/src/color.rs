@@ -176,7 +176,10 @@ mod tests {
         let costs = SpillCosts::compute(&f, &HashSet::new());
         let c = color(&g, 8, 4, &costs);
         let ia = g.entities.id(Entity::Reg(a));
-        assert!(c.colors[&ia] >= 4, "call-crossing value must avoid caller-saved colors");
+        assert!(
+            c.colors[&ia] >= 4,
+            "call-crossing value must avoid caller-saved colors"
+        );
     }
 
     #[test]
@@ -197,6 +200,9 @@ mod tests {
         g.add_edge(ids[3], ids[0]);
         let costs = SpillCosts::compute(&f, &HashSet::new());
         let c = color(&g, 2, 0, &costs);
-        assert!(c.spilled.is_empty(), "optimistic coloring must 2-color a 4-cycle");
+        assert!(
+            c.spilled.is_empty(),
+            "optimistic coloring must 2-color a 4-cycle"
+        );
     }
 }

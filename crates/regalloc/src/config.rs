@@ -1,6 +1,6 @@
 //! Allocator configuration: the paper's machine model.
 
-use iloc::RegClass;
+use iloc::{Reg, RegClass};
 
 /// Register-allocation parameters.
 ///
@@ -60,6 +60,24 @@ impl AllocConfig {
             RegClass::Gpr => color + 1,
             RegClass::Fpr => color,
         }
+    }
+
+    /// Whether `r` is a physical register allocated code may legitimately
+    /// contain under this configuration: the reserved RARP or one of the
+    /// allocatable colors mapped through [`AllocConfig::physical_index`].
+    pub fn is_valid_physical(&self, r: Reg) -> bool {
+        match r.class() {
+            RegClass::Gpr => r == Reg::RARP || (1..=self.gpr_k).contains(&r.index()),
+            RegClass::Fpr => r.index() < self.fpr_k,
+        }
+    }
+
+    /// The physical registers of `class` holding caller-saved colors
+    /// (`0..caller_saved`); their contents are dead after every call.
+    pub fn caller_saved_physical(&self, class: RegClass) -> Vec<Reg> {
+        (0..self.caller_saved.min(self.k(class)))
+            .map(|c| Reg::new(class, self.physical_index(class, c)))
+            .collect()
     }
 
     /// A tiny configuration (few registers) used by tests to force

@@ -52,9 +52,7 @@ impl InterferenceGraph {
                 let (uses, defs) = g.entities.uses_defs(&instr.op);
                 // Copy: the source does not interfere with the target.
                 let copy_src: Option<usize> = match &instr.op {
-                    Op::I2I { src, .. } | Op::F2F { src, .. } => {
-                        g.entities.get(Entity::Reg(*src))
-                    }
+                    Op::I2I { src, .. } | Op::F2F { src, .. } => g.entities.get(Entity::Reg(*src)),
                     _ => None,
                 };
                 for &d in &defs {
@@ -263,10 +261,7 @@ mod tests {
         fb.ret(&[c]);
         let f = fb.finish();
         let g = graph_for(&f, RegClass::Gpr);
-        let (ia, ib) = (
-            g.entities.id(Entity::Reg(a)),
-            g.entities.id(Entity::Reg(b)),
-        );
+        let (ia, ib) = (g.entities.id(Entity::Reg(a)), g.entities.id(Entity::Reg(b)));
         assert!(g.interferes(ia, ib));
         // c is defined when nothing else is live → no edges to a/b.
         let ic = g.entities.id(Entity::Reg(c));
@@ -283,11 +278,11 @@ mod tests {
         fb.ret(&[c]);
         let f = fb.finish();
         let g = graph_for(&f, RegClass::Gpr);
-        let (ia, ib) = (
-            g.entities.id(Entity::Reg(a)),
-            g.entities.id(Entity::Reg(b)),
+        let (ia, ib) = (g.entities.id(Entity::Reg(a)), g.entities.id(Entity::Reg(b)));
+        assert!(
+            !g.interferes(ia, ib),
+            "copy-related nodes must not interfere"
         );
-        assert!(!g.interferes(ia, ib), "copy-related nodes must not interfere");
     }
 
     #[test]
@@ -334,10 +329,7 @@ mod tests {
         fb.ret(&[]); // neither used
         let f = fb.finish();
         let g = graph_for(&f, RegClass::Gpr);
-        assert!(g.interferes(
-            g.entities.id(Entity::Reg(p)),
-            g.entities.id(Entity::Reg(q))
-        ));
+        assert!(g.interferes(g.entities.id(Entity::Reg(p)), g.entities.id(Entity::Reg(q))));
     }
 
     #[test]
@@ -372,10 +364,7 @@ mod tests {
         fb.ret(&[]);
         let f = fb.finish();
         let mut g = graph_for(&f, RegClass::Gpr);
-        let ids: Vec<usize> = r
-            .iter()
-            .map(|x| g.entities.id(Entity::Reg(*x)))
-            .collect();
+        let ids: Vec<usize> = r.iter().map(|x| g.entities.id(Entity::Reg(*x))).collect();
         // center = ids[0]; leaves = 1,2,3.
         g.add_edge(ids[0], ids[1]);
         g.add_edge(ids[0], ids[2]);

@@ -86,9 +86,9 @@ pub fn schedule_function(f: &mut Function, mem_latency: u64) -> SchedStats {
                 .enumerate()
                 .min_by_key(|(_, &i)| {
                     (
-                        ready_at[i].max(clock),          // earliest issue
-                        u64::MAX - dag.priority[i],      // then max priority
-                        i,                               // then source order
+                        ready_at[i].max(clock),     // earliest issue
+                        u64::MAX - dag.priority[i], // then max priority
+                        i,                          // then source order
                     )
                 })
                 .map(|(pos, _)| pos)
@@ -107,7 +107,11 @@ pub fn schedule_function(f: &mut Function, mem_latency: u64) -> SchedStats {
             }
         }
 
-        let moved = order.iter().enumerate().filter(|(pos, &i)| *pos != i).count();
+        let moved = order
+            .iter()
+            .enumerate()
+            .filter(|(pos, &i)| *pos != i)
+            .count();
         if moved > 0 {
             stats.blocks_changed += 1;
             stats.instrs_moved += moved;
@@ -158,7 +162,10 @@ mod tests {
 
         let (v0, _) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
         let stats = schedule_module(&mut m, 2);
-        assert!(stats.instrs_moved > 0, "the independent loadI should move up");
+        assert!(
+            stats.instrs_moved > 0,
+            "the independent loadI should move up"
+        );
         verify_function(&m.functions[0]).unwrap();
         let (v1, _) = sim::run_module(&m, sim::MachineConfig::default(), "main").unwrap();
         assert_eq!(v0, v1);

@@ -100,7 +100,10 @@ impl Cache {
     /// Panics if the geometry is inconsistent (size not divisible by
     /// `line * assoc`, or non-power-of-two line size).
     pub fn new(cfg: CacheConfig) -> Cache {
-        assert!(cfg.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.assoc >= 1, "associativity must be at least 1");
         let lines_total = cfg.size / cfg.line;
         assert!(
@@ -178,13 +181,12 @@ impl Cache {
 
         // Full miss. Stores may be absorbed by the write buffer.
         self.stats.misses += 1;
-        if is_store && self.cfg.write_buffer > 0
-            && self.buffer_occupancy < self.cfg.write_buffer {
-                self.buffer_occupancy += 1;
-                self.stats.buffered_stores += 1;
-                self.install_with_victim(set, tag);
-                return self.cfg.hit_latency;
-            }
+        if is_store && self.cfg.write_buffer > 0 && self.buffer_occupancy < self.cfg.write_buffer {
+            self.buffer_occupancy += 1;
+            self.stats.buffered_stores += 1;
+            self.install_with_victim(set, tag);
+            return self.cfg.hit_latency;
+        }
         self.install_with_victim(set, tag);
         self.cfg.miss_latency
     }

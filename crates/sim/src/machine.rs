@@ -257,18 +257,33 @@ impl<'m> Machine<'m> {
                     self.metrics.cycles += 1;
                     frame.gpr[dst.index() as usize] = self.globals[sym];
                 }
-                Op::IBin { kind, lhs, rhs, dst } => {
+                Op::IBin {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
                     self.metrics.cycles += 1;
                     let a = frame.gpr[lhs.index() as usize];
                     let b = frame.gpr[rhs.index() as usize];
                     frame.gpr[dst.index() as usize] = ibin(*kind, a, b)?;
                 }
-                Op::IBinI { kind, lhs, imm, dst } => {
+                Op::IBinI {
+                    kind,
+                    lhs,
+                    imm,
+                    dst,
+                } => {
                     self.metrics.cycles += 1;
                     let a = frame.gpr[lhs.index() as usize];
                     frame.gpr[dst.index() as usize] = ibin(*kind, a, *imm)?;
                 }
-                Op::FBin { kind, lhs, rhs, dst } => {
+                Op::FBin {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
                     self.metrics.cycles += 1;
                     let a = frame.fpr[lhs.index() as usize];
                     let b = frame.fpr[rhs.index() as usize];
@@ -279,13 +294,23 @@ impl<'m> Machine<'m> {
                         FBinKind::Div => a / b,
                     };
                 }
-                Op::ICmp { kind, lhs, rhs, dst } => {
+                Op::ICmp {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
                     self.metrics.cycles += 1;
                     let a = frame.gpr[lhs.index() as usize];
                     let b = frame.gpr[rhs.index() as usize];
                     frame.gpr[dst.index() as usize] = cmp(*kind, &a, &b);
                 }
-                Op::FCmp { kind, lhs, rhs, dst } => {
+                Op::FCmp {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
                     self.metrics.cycles += 1;
                     let a = frame.fpr[lhs.index() as usize];
                     let b = frame.fpr[rhs.index() as usize];
@@ -305,8 +330,7 @@ impl<'m> Machine<'m> {
                 }
                 Op::F2I { src, dst } => {
                     self.metrics.cycles += 1;
-                    frame.gpr[dst.index() as usize] =
-                        frame.fpr[src.index() as usize] as i32 as i64;
+                    frame.gpr[dst.index() as usize] = frame.fpr[src.index() as usize] as i32 as i64;
                 }
 
                 // ---- main memory: mem_latency (or cache) ----------------
@@ -323,8 +347,7 @@ impl<'m> Machine<'m> {
                     frame.gpr[dst.index() as usize] = v as i64;
                     let lat = match delay {
                         Some(d) => {
-                            frame.gpr_ready[dst.index() as usize] =
-                                self.metrics.cycles + 1 + d;
+                            frame.gpr_ready[dst.index() as usize] = self.metrics.cycles + 1 + d;
                             1
                         }
                         None => lat,
@@ -346,8 +369,7 @@ impl<'m> Machine<'m> {
                     frame.fpr[dst.index() as usize] = v;
                     let lat = match delay {
                         Some(d) => {
-                            frame.fpr_ready[dst.index() as usize] =
-                                self.metrics.cycles + 1 + d;
+                            frame.fpr_ready[dst.index() as usize] = self.metrics.cycles + 1 + d;
                             1
                         }
                         None => lat,
@@ -492,12 +514,10 @@ impl<'m> Machine<'m> {
                         for (v, dst) in vals.iter().zip(&frame.ret_dsts) {
                             match v.class() {
                                 RegClass::Gpr => {
-                                    caller.gpr[dst.index() as usize] =
-                                        frame.gpr[v.index() as usize]
+                                    caller.gpr[dst.index() as usize] = frame.gpr[v.index() as usize]
                                 }
                                 RegClass::Fpr => {
-                                    caller.fpr[dst.index() as usize] =
-                                        frame.fpr[v.index() as usize]
+                                    caller.fpr[dst.index() as usize] = frame.fpr[v.index() as usize]
                                 }
                             }
                         }
@@ -922,7 +942,10 @@ mod tests {
             max_steps: 1000,
             ..MachineConfig::default()
         };
-        assert_eq!(run_module(&m, cfg, "main").unwrap_err(), SimError::StepLimit);
+        assert_eq!(
+            run_module(&m, cfg, "main").unwrap_err(),
+            SimError::StepLimit
+        );
     }
 
     #[test]
@@ -935,16 +958,28 @@ mod tests {
         let e = f.entry();
         let v = f.new_vreg(RegClass::Gpr);
         let w = f.new_vreg(RegClass::Gpr);
-        f.block_mut(e).instrs.push(iloc::Instr::new(Op::LoadI { imm: 3, dst: v }));
+        f.block_mut(e)
+            .instrs
+            .push(iloc::Instr::new(Op::LoadI { imm: 3, dst: v }));
         f.block_mut(e).instrs.push(iloc::Instr::spill_store(
-            Op::StoreAI { val: v, addr: Reg::RARP, off },
+            Op::StoreAI {
+                val: v,
+                addr: Reg::RARP,
+                off,
+            },
             slot,
         ));
         f.block_mut(e).instrs.push(iloc::Instr::spill_restore(
-            Op::LoadAI { addr: Reg::RARP, off, dst: w },
+            Op::LoadAI {
+                addr: Reg::RARP,
+                off,
+                dst: w,
+            },
             slot,
         ));
-        f.block_mut(e).instrs.push(iloc::Instr::new(Op::Ret { vals: vec![w] }));
+        f.block_mut(e)
+            .instrs
+            .push(iloc::Instr::new(Op::Ret { vals: vec![w] }));
         let m = module_of(vec![f], vec![]);
         let (v, metrics) = run_module(&m, MachineConfig::default(), "main").unwrap();
         assert_eq!(v.ints, vec![3]);
@@ -979,9 +1014,10 @@ mod tests {
         let mut f = Function::new("main");
         let e = f.entry();
         let d = f.new_vreg(RegClass::Gpr);
-        f.block_mut(e)
-            .instrs
-            .push(iloc::Instr::new(Op::Phi { dst: d, args: vec![] }));
+        f.block_mut(e).instrs.push(iloc::Instr::new(Op::Phi {
+            dst: d,
+            args: vec![],
+        }));
         f.block_mut(e)
             .instrs
             .push(iloc::Instr::new(Op::Ret { vals: vec![] }));
@@ -1000,10 +1036,7 @@ mod tests {
         let base = fb.loadsym("w");
         let x = fb.floadai(base, 8);
         fb.ret(&[x]);
-        let m = module_of(
-            vec![fb.finish()],
-            vec![Global::from_f64s("w", &[1.5, 2.5])],
-        );
+        let m = module_of(vec![fb.finish()], vec![Global::from_f64s("w", &[1.5, 2.5])]);
         let (v, _) = run_module(&m, MachineConfig::default(), "main").unwrap();
         assert_eq!(v.floats, vec![2.5]);
     }
@@ -1068,7 +1101,10 @@ mod ccm_semantics_tests {
         let mut main = FuncBuilder::new("main");
         main.set_ret_classes(&[RegClass::Gpr, RegClass::Gpr]);
         let zero_read = main.vreg(RegClass::Gpr);
-        main.emit(Op::CcmLoad { off: 12, dst: zero_read });
+        main.emit(Op::CcmLoad {
+            off: 12,
+            dst: zero_read,
+        });
         let s = main.loadi(1234);
         main.emit(Op::CcmStore { val: s, off: 12 });
         main.call("noop", &[], &[]);
@@ -1091,7 +1127,7 @@ mod ccm_semantics_tests {
         fb.set_ret_classes(&[RegClass::Gpr, RegClass::Gpr]);
         let big = fb.loadi(0x4000_0000); // 2^30
         let wrapped = fb.mult(big, big); // 2^60 wraps to 0 in 32 bits
-        // And a spill-style memory round trip of a negative value.
+                                         // And a spill-style memory round trip of a negative value.
         let neg = fb.loadi(-5);
         let g = fb.loadsym("g");
         fb.storeai(neg, g, 0);
@@ -1229,7 +1265,10 @@ mod pipeline_tests {
         m.push_function(fb.finish());
         let (v0, _) = run_module(&m, MachineConfig::default(), "main").unwrap();
         let (v1, m1) = run_module(&m, pipelined(2), "main").unwrap();
-        assert_eq!(v0, v1, "pipelining is a timing model, not a semantics change");
+        assert_eq!(
+            v0, v1,
+            "pipelining is a timing model, not a semantics change"
+        );
         assert!(m1.cycles > 0);
     }
 
@@ -1241,7 +1280,11 @@ mod pipeline_tests {
         fb.set_ret_classes(&[RegClass::Gpr]);
         let base = fb.loadsym("g");
         let r = fb.vreg(RegClass::Gpr);
-        fb.emit(Op::LoadAI { addr: base, off: 0, dst: r });
+        fb.emit(Op::LoadAI {
+            addr: base,
+            off: 0,
+            dst: r,
+        });
         fb.emit(Op::LoadI { imm: 7, dst: r });
         fb.ret(&[r]);
         let mut m = Module::new();

@@ -12,7 +12,9 @@ pub struct Lcg(u64);
 impl Lcg {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Lcg {
-        Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+        Lcg(seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
     }
 
     /// Next raw 64-bit value.

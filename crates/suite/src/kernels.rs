@@ -62,7 +62,15 @@ fn net_kernel(width: usize, depth: usize, blocks: usize, phases: usize, seed: u6
     for phase in 0..phases {
         k.counted_loop(0, blocks as i64, 1, |fb, iv| {
             let base = fb.multi(iv, (width * 8) as i64);
-            float_net(fb, src, src, base, width, depth, seed ^ (phase as u64 * 0x9e37));
+            float_net(
+                fb,
+                src,
+                src,
+                base,
+                width,
+                depth,
+                seed ^ (phase as u64 * 0x9e37),
+            );
         });
     }
     k.ret(&[]);
@@ -440,7 +448,12 @@ fn decomp_kernel(n: usize, seed: u64) -> Module {
 /// `zeroin`/`fmin` shape: an iterative driver keeping several values live
 /// across repeated calls to an evaluation routine. This is the stress
 /// case for the conservative intraprocedural CCM rule.
-fn caller_pressure_kernel(evals: usize, poly_width: usize, driver_width: usize, seed: u64) -> Module {
+fn caller_pressure_kernel(
+    evals: usize,
+    poly_width: usize,
+    driver_width: usize,
+    seed: u64,
+) -> Module {
     let mut m = Module::new();
     m.push_global(f64_global("coef", poly_width.max(driver_width), seed));
     m.push_global(Global::zeroed("out", 16));
@@ -539,7 +552,12 @@ fn particle_kernel(particles: usize, fields: usize, comps: usize, seed: u64) -> 
     m.push_global(f64_global("pos", particles, seed));
     m.push_global(f64_global("vel", particles, seed ^ 2));
     m.push_global(f64_global("fld", fields * comps, seed ^ 3));
-    m.push_global(crate::gen::i32_global("idx", particles, fields as u32, seed ^ 4));
+    m.push_global(crate::gen::i32_global(
+        "idx",
+        particles,
+        fields as u32,
+        seed ^ 4,
+    ));
     m.push_global(Global::zeroed("out", (particles * 8) as u32));
 
     let mut f = FuncBuilder::new("push");
@@ -740,43 +758,76 @@ macro_rules! kernel {
 pub fn kernels() -> Vec<Kernel> {
     vec![
         // ---- heavy spillers (fpppp, twldrv, deseco, jacld/jacu, …) ----
-        kernel!("fpppp", "SPEC fpppp: enormous straight-line float blocks", None, || {
-            net_kernel(96, 4, 24, 4, 101)
-        }),
-        kernel!("twldrv", "SPEC wave5 twldrv: twiddle-factor driver", None, || {
-            net_kernel(84, 4, 32, 3, 102)
-        }),
-        kernel!("deseco", "Perfect-club deseco: wide update network", None, || {
-            net_call_kernel(36, 4, 28, 2, 40, 103)
-        }),
-        kernel!("jacld", "NAS LU jacld: jacobian assembly, huge blocks", None, || {
-            net_kernel(88, 4, 24, 3, 104)
-        }),
+        kernel!(
+            "fpppp",
+            "SPEC fpppp: enormous straight-line float blocks",
+            None,
+            || { net_kernel(96, 4, 24, 4, 101) }
+        ),
+        kernel!(
+            "twldrv",
+            "SPEC wave5 twldrv: twiddle-factor driver",
+            None,
+            || { net_kernel(84, 4, 32, 3, 102) }
+        ),
+        kernel!(
+            "deseco",
+            "Perfect-club deseco: wide update network",
+            None,
+            || { net_call_kernel(36, 4, 28, 2, 40, 103) }
+        ),
+        kernel!(
+            "jacld",
+            "NAS LU jacld: jacobian assembly, huge blocks",
+            None,
+            || { net_kernel(88, 4, 24, 3, 104) }
+        ),
         kernel!("jacu", "NAS LU jacu: upper-jacobian assembly", None, || {
             net_kernel(84, 4, 24, 3, 105)
         }),
-        kernel!("blts", "NAS LU blts: block lower-triangular solve", None, || {
-            net_kernel(34, 4, 28, 2, 106)
-        }),
-        kernel!("buts", "NAS LU buts: block upper-triangular solve", None, || {
-            net_kernel(35, 4, 28, 2, 107)
-        }),
+        kernel!(
+            "blts",
+            "NAS LU blts: block lower-triangular solve",
+            None,
+            || { net_kernel(34, 4, 28, 2, 106) }
+        ),
+        kernel!(
+            "buts",
+            "NAS LU buts: block upper-triangular solve",
+            None,
+            || { net_kernel(35, 4, 28, 2, 107) }
+        ),
         // ---- FFTPACK radix passes ----
-        kernel!("radf5", "FFTPACK radf5: radix-5 forward butterfly", None, || {
-            radix_kernel(5, 3, 40, true, 108)
-        }),
-        kernel!("radb5", "FFTPACK radb5: radix-5 backward butterfly", None, || {
-            radix_kernel(5, 3, 40, false, 109)
-        }),
-        kernel!("radf4", "FFTPACK radf4: radix-4 forward butterfly", None, || {
-            radix_kernel(4, 3, 48, true, 110)
-        }),
-        kernel!("radf4X", "radf4 after pressure transform (paper's X suffix)", Some(4), || {
-            radix_kernel(4, 3, 48, true, 110)
-        }),
-        kernel!("radb4", "FFTPACK radb4: radix-4 backward butterfly", None, || {
-            radix_kernel(4, 3, 48, false, 111)
-        }),
+        kernel!(
+            "radf5",
+            "FFTPACK radf5: radix-5 forward butterfly",
+            None,
+            || { radix_kernel(5, 3, 40, true, 108) }
+        ),
+        kernel!(
+            "radb5",
+            "FFTPACK radb5: radix-5 backward butterfly",
+            None,
+            || { radix_kernel(5, 3, 40, false, 109) }
+        ),
+        kernel!(
+            "radf4",
+            "FFTPACK radf4: radix-4 forward butterfly",
+            None,
+            || { radix_kernel(4, 3, 48, true, 110) }
+        ),
+        kernel!(
+            "radf4X",
+            "radf4 after pressure transform (paper's X suffix)",
+            Some(4),
+            || { radix_kernel(4, 3, 48, true, 110) }
+        ),
+        kernel!(
+            "radb4",
+            "FFTPACK radb4: radix-4 backward butterfly",
+            None,
+            || { radix_kernel(4, 3, 48, false, 111) }
+        ),
         kernel!("radb4X", "radb4 after pressure transform", Some(4), || {
             radix_kernel(4, 3, 48, false, 111)
         }),
@@ -793,21 +844,30 @@ pub fn kernels() -> Vec<Kernel> {
             radix_kernel(2, 4, 64, false, 115)
         }),
         // ---- medium float networks (erhs/rhs/supp/subb/…) ----
-        kernel!("erhs", "NAS LU erhs: flux-difference loop nests", None, || {
-            net_kernel(34, 4, 32, 3, 116)
-        }),
+        kernel!(
+            "erhs",
+            "NAS LU erhs: flux-difference loop nests",
+            None,
+            || { net_kernel(34, 4, 32, 3, 116) }
+        ),
         kernel!("rhs", "NAS LU rhs: right-hand-side assembly", None, || {
             net_kernel(33, 4, 32, 3, 117)
         }),
-        kernel!("supp", "Perfect-club supp: support-function evaluation", None, || {
-            net_call_kernel(34, 4, 28, 2, 40, 118)
-        }),
+        kernel!(
+            "supp",
+            "Perfect-club supp: support-function evaluation",
+            None,
+            || { net_call_kernel(34, 4, 28, 2, 40, 118) }
+        ),
         kernel!("subb", "Perfect-club subb: substitution pass", None, || {
             net_call_kernel(35, 4, 28, 2, 38, 119)
         }),
-        kernel!("saturr", "saturr: rational saturation per element", None, || {
-            net_kernel(33, 3, 32, 2, 120)
-        }),
+        kernel!(
+            "saturr",
+            "saturr: rational saturation per element",
+            None,
+            || { net_kernel(33, 3, 32, 2, 120) }
+        ),
         kernel!("ddeflu", "ddeflu: deflation update", None, || {
             net_call_kernel(34, 3, 32, 2, 40, 121)
         }),
@@ -820,51 +880,78 @@ pub fn kernels() -> Vec<Kernel> {
         kernel!("pastem", "pastem: time-stepping update", None, || {
             net_call_kernel(33, 3, 32, 1, 36, 124)
         }),
-        kernel!("prophy", "prophy: physical-property evaluation", None, || {
-            net_call_kernel(34, 4, 28, 2, 44, 125)
-        }),
+        kernel!(
+            "prophy",
+            "prophy: physical-property evaluation",
+            None,
+            || { net_call_kernel(34, 4, 28, 2, 44, 125) }
+        ),
         kernel!("colbur", "colbur: collision/burn kernel", None, || {
             net_call_kernel(33, 3, 32, 1, 36, 126)
         }),
-        kernel!("cosqf1", "FFTPACK cosqf1: cosine transform pass", None, || {
-            net_kernel(32, 3, 36, 1, 127)
-        }),
+        kernel!(
+            "cosqf1",
+            "FFTPACK cosqf1: cosine transform pass",
+            None,
+            || { net_kernel(32, 3, 36, 1, 127) }
+        ),
         // ---- stencils ----
         kernel!("tomcatv", "SPEC tomcatv: mesh relaxation", None, || {
             stencil_kernel(20, 2, 24, 128)
         }),
-        kernel!("smoothX", "smooth after pressure transform", Some(2), || {
-            stencil_kernel(18, 2, 14, 129)
-        }),
+        kernel!(
+            "smoothX",
+            "smooth after pressure transform",
+            Some(2),
+            || { stencil_kernel(18, 2, 14, 129) }
+        ),
         kernel!("fieldX", "field update, transformed", Some(4), || {
             net_kernel(16, 3, 48, 2, 130)
         }),
-        kernel!("initX", "initialization sweep, transformed", Some(4), || {
-            net_kernel(14, 2, 48, 1, 131)
-        }),
-        kernel!("vslv1pX", "vectorized solver pass, transformed", Some(4), || {
-            net_kernel(24, 3, 40, 2, 132)
-        }),
-        kernel!("vslv1xX", "vectorized solver pass (variant), transformed", Some(4), || {
-            net_kernel(25, 3, 40, 2, 133)
-        }),
+        kernel!(
+            "initX",
+            "initialization sweep, transformed",
+            Some(4),
+            || { net_kernel(14, 2, 48, 1, 131) }
+        ),
+        kernel!(
+            "vslv1pX",
+            "vectorized solver pass, transformed",
+            Some(4),
+            || { net_kernel(24, 3, 40, 2, 132) }
+        ),
+        kernel!(
+            "vslv1xX",
+            "vectorized solver pass (variant), transformed",
+            Some(4),
+            || { net_kernel(25, 3, 40, 2, 133) }
+        ),
         // ---- Forsythe numerical methods ----
-        kernel!("decomp", "Forsythe decomp+solve: LU with substitution", None, || {
-            decomp_kernel(12, 134)
-        }),
+        kernel!(
+            "decomp",
+            "Forsythe decomp+solve: LU with substitution",
+            None,
+            || { decomp_kernel(12, 134) }
+        ),
         kernel!("svd", "Forsythe svd: rotation application", None, || {
             net_kernel(33, 4, 24, 2, 135)
         }),
-        kernel!("zeroin", "Forsythe zeroin: root finder, call-heavy", None, || {
-            caller_pressure_kernel(48, 34, 34, 136)
-        }),
+        kernel!(
+            "zeroin",
+            "Forsythe zeroin: root finder, call-heavy",
+            None,
+            || { caller_pressure_kernel(48, 34, 34, 136) }
+        ),
         kernel!("fmin", "Forsythe fmin: minimizer, call-heavy", None, || {
             caller_pressure_kernel(40, 30, 33, 137)
         }),
         // ---- particles / gather-scatter ----
-        kernel!("parmvr", "particle move (gather-update-scatter)", None, || {
-            particle_kernel(96, 16, 20, 138)
-        }),
+        kernel!(
+            "parmvr",
+            "particle move (gather-update-scatter)",
+            None,
+            || { particle_kernel(96, 16, 20, 138) }
+        ),
         kernel!("parmvrX", "particle move, transformed", Some(2), || {
             particle_kernel(96, 16, 20, 138)
         }),
@@ -879,12 +966,21 @@ pub fn kernels() -> Vec<Kernel> {
             int_kernel(40, 3, 28, 141)
         }),
         // ---- light, non-spilling routines ----
-        kernel!("efill", "efill: strided fill", None, || copy_kernel(128, 2, 142)),
-        kernel!("getb", "getb: block gather", None, || copy_kernel(96, 3, 143)),
-        kernel!("putb", "putb: block scatter", None, || copy_kernel(96, 1, 144)),
-        kernel!("seval", "Forsythe seval: spline evaluation (light)", None, || {
-            net_kernel(8, 2, 48, 1, 145)
-        }),
+        kernel!("efill", "efill: strided fill", None, || copy_kernel(
+            128, 2, 142
+        )),
+        kernel!("getb", "getb: block gather", None, || copy_kernel(
+            96, 3, 143
+        )),
+        kernel!("putb", "putb: block scatter", None, || copy_kernel(
+            96, 1, 144
+        )),
+        kernel!(
+            "seval",
+            "Forsythe seval: spline evaluation (light)",
+            None,
+            || { net_kernel(8, 2, 48, 1, 145) }
+        ),
         // ---- remaining paper-table names ----
         kernel!("gamgen", "gamgen: gamma-table generation", None, || {
             net_kernel(33, 3, 30, 2, 146)
@@ -892,18 +988,27 @@ pub fn kernels() -> Vec<Kernel> {
         kernel!("denptX", "density-update, transformed", Some(4), || {
             net_kernel(18, 3, 44, 2, 147)
         }),
-        kernel!("rffti1X", "FFTPACK rffti1 init, transformed", Some(4), || {
-            net_kernel(17, 2, 44, 1, 148)
-        }),
-        kernel!("slv2xyX", "2-D xy solver pass, transformed", Some(2), || {
-            net_kernel(22, 3, 38, 2, 149)
-        }),
+        kernel!(
+            "rffti1X",
+            "FFTPACK rffti1 init, transformed",
+            Some(4),
+            || { net_kernel(17, 2, 44, 1, 148) }
+        ),
+        kernel!(
+            "slv2xyX",
+            "2-D xy solver pass, transformed",
+            Some(2),
+            || { net_kernel(22, 3, 38, 2, 149) }
+        ),
         kernel!("debico", "debico: decomposition bookkeeping", None, || {
             net_call_kernel(33, 3, 30, 1, 36, 150)
         }),
-        kernel!("inideb", "inideb: initialization w/ helper calls", None, || {
-            net_call_kernel(32, 3, 28, 1, 38, 151)
-        }),
+        kernel!(
+            "inideb",
+            "inideb: initialization w/ helper calls",
+            None,
+            || { net_call_kernel(32, 3, 28, 1, 38, 151) }
+        ),
         kernel!("heat", "heat: explicit diffusion step", None, || {
             stencil_kernel(18, 2, 20, 152)
         }),
@@ -916,27 +1021,42 @@ pub fn kernels() -> Vec<Kernel> {
         kernel!("integr", "integr: panel integration (light)", None, || {
             net_kernel(12, 2, 40, 1, 155)
         }),
-        kernel!("orgpar", "orgpar: parameter organization (light)", None, || {
-            copy_kernel(112, 2, 156)
-        }),
+        kernel!(
+            "orgpar",
+            "orgpar: parameter organization (light)",
+            None,
+            || { copy_kernel(112, 2, 156) }
+        ),
         kernel!("x21y21", "x21y21: coordinate transform", None, || {
             net_kernel(24, 3, 36, 1, 157)
         }),
         // The four routines the paper singles out as needing > 1000 bytes
         // of spill memory *without* compacting at all: one giant phase in
         // which every spill slot interferes with every other.
-        kernel!("paroi", "paroi: wall-interaction, one huge phase", None, || {
-            monolith_kernel(164, 8, 158)
-        }),
-        kernel!("inisla", "inisla: slab initialization, one huge phase", None, || {
-            monolith_kernel(160, 8, 159)
-        }),
-        kernel!("energyx", "energy evaluation, transformed, one huge phase", None, || {
-            monolith_kernel(172, 8, 160)
-        }),
-        kernel!("pdiagX", "pressure diagnostic, transformed, one huge phase", None, || {
-            monolith_kernel(168, 8, 161)
-        }),
+        kernel!(
+            "paroi",
+            "paroi: wall-interaction, one huge phase",
+            None,
+            || { monolith_kernel(164, 8, 158) }
+        ),
+        kernel!(
+            "inisla",
+            "inisla: slab initialization, one huge phase",
+            None,
+            || { monolith_kernel(160, 8, 159) }
+        ),
+        kernel!(
+            "energyx",
+            "energy evaluation, transformed, one huge phase",
+            None,
+            || { monolith_kernel(172, 8, 160) }
+        ),
+        kernel!(
+            "pdiagX",
+            "pressure diagnostic, transformed, one huge phase",
+            None,
+            || { monolith_kernel(168, 8, 161) }
+        ),
     ]
 }
 

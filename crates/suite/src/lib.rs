@@ -80,14 +80,14 @@ mod tests {
     fn optimized_kernels_run_and_match_unoptimized() {
         // Spot-check a representative sample (the full suite is covered by
         // the integration tests; this keeps unit-test time low).
-        for name in ["radf5", "fpppp", "decomp", "zeroin", "urand", "efill", "radf4X"] {
+        for name in [
+            "radf5", "fpppp", "decomp", "zeroin", "urand", "efill", "radf4X",
+        ] {
             let k = kernel(name).unwrap();
             let raw = (k.build)();
-            let (v0, _) =
-                sim::run_module(&raw, sim::MachineConfig::default(), "main").unwrap();
+            let (v0, _) = sim::run_module(&raw, sim::MachineConfig::default(), "main").unwrap();
             let optd = build_optimized(&k);
-            let (v1, m1) =
-                sim::run_module(&optd, sim::MachineConfig::default(), "main").unwrap();
+            let (v1, m1) = sim::run_module(&optd, sim::MachineConfig::default(), "main").unwrap();
             assert_eq!(v0, v1, "{name}: optimization changed the checksum");
             assert!(m1.instrs > 0);
         }

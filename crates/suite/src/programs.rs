@@ -21,19 +21,58 @@ pub struct Program {
 /// The 13 programs of the whole-program experiments.
 pub fn programs() -> Vec<Program> {
     vec![
-        Program { name: "fftpack", members: &["radf4", "radb4", "radf5", "radb5", "cosqf1"] },
-        Program { name: "fftpackX", members: &["radf4X", "radb4X", "radf3X", "radb3X", "radf2X", "radb2X"] },
-        Program { name: "applu", members: &["jacld", "jacu", "blts", "buts", "erhs", "rhs"] },
-        Program { name: "forsythe", members: &["decomp", "svd", "zeroin", "fmin", "urand"] },
-        Program { name: "wave", members: &["twldrv", "fieldX", "initX", "parmvr"] },
-        Program { name: "turb3d", members: &["ddeflu", "debflu", "bilan", "deseco", "pastem", "prophy"] },
-        Program { name: "mesh", members: &["tomcatv", "smoothX", "vslv1pX", "vslv1xX"] },
-        Program { name: "chem", members: &["fpppp", "supp", "subb", "saturr"] },
-        Program { name: "pic", members: &["parmvr", "parmveX", "efill"] },
-        Program { name: "pack", members: &["efill", "getb", "putb"] },
-        Program { name: "hash", members: &["ihash", "urand"] },
-        Program { name: "rotor", members: &["colbur", "svd", "cosqf1"] },
-        Program { name: "spice", members: &["saturr", "ddeflu", "zeroin", "getb"] },
+        Program {
+            name: "fftpack",
+            members: &["radf4", "radb4", "radf5", "radb5", "cosqf1"],
+        },
+        Program {
+            name: "fftpackX",
+            members: &["radf4X", "radb4X", "radf3X", "radb3X", "radf2X", "radb2X"],
+        },
+        Program {
+            name: "applu",
+            members: &["jacld", "jacu", "blts", "buts", "erhs", "rhs"],
+        },
+        Program {
+            name: "forsythe",
+            members: &["decomp", "svd", "zeroin", "fmin", "urand"],
+        },
+        Program {
+            name: "wave",
+            members: &["twldrv", "fieldX", "initX", "parmvr"],
+        },
+        Program {
+            name: "turb3d",
+            members: &["ddeflu", "debflu", "bilan", "deseco", "pastem", "prophy"],
+        },
+        Program {
+            name: "mesh",
+            members: &["tomcatv", "smoothX", "vslv1pX", "vslv1xX"],
+        },
+        Program {
+            name: "chem",
+            members: &["fpppp", "supp", "subb", "saturr"],
+        },
+        Program {
+            name: "pic",
+            members: &["parmvr", "parmveX", "efill"],
+        },
+        Program {
+            name: "pack",
+            members: &["efill", "getb", "putb"],
+        },
+        Program {
+            name: "hash",
+            members: &["ihash", "urand"],
+        },
+        Program {
+            name: "rotor",
+            members: &["colbur", "svd", "cosqf1"],
+        },
+        Program {
+            name: "spice",
+            members: &["saturr", "ddeflu", "zeroin", "getb"],
+        },
     ]
 }
 

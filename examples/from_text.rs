@@ -25,7 +25,10 @@ fn main() {
     // promote into a small CCM.
     let cfg = AllocConfig::tiny(4);
     let stats = regalloc::allocate_module(&mut m, &cfg);
-    println!("spilled {} live ranges under 4 registers/class", stats.total_spilled());
+    println!(
+        "spilled {} live ranges under 4 registers/class",
+        stats.total_spilled()
+    );
     assert!(stats.total_spilled() > 0, "the unrolled loop must spill");
     let promo = ccm::postpass_promote(
         &mut m,
@@ -37,8 +40,7 @@ fn main() {
     let promoted: usize = promo.iter().map(|p| p.promoted).sum();
     println!("promoted {promoted} spill slots into a 256-byte CCM");
 
-    let (vals, metrics) =
-        sim::run_module(&m, MachineConfig::with_ccm(256), "main").expect("runs");
+    let (vals, metrics) = sim::run_module(&m, MachineConfig::with_ccm(256), "main").expect("runs");
     // Σ_{i<32} (i·0.5)·2.0 = Σ i = 496.
     println!(
         "dot product = {} ({} cycles, {} CCM ops)",

@@ -60,7 +60,8 @@ fn main() {
 
     // 4. Or do it in one step with the integrated allocator (§3.2).
     let mut integrated = module.clone();
-    let (_, ccm_stats) = ccm::allocate_module_integrated(&mut integrated, &AllocConfig::default(), 512);
+    let (_, ccm_stats) =
+        ccm::allocate_module_integrated(&mut integrated, &AllocConfig::default(), 512);
     let (v2, m2) = sim::run_module(&integrated, machine, "main").expect("integrated runs");
     println!(
         "integrated: {:>5} cycles, {} spills in CCM, {} heavyweight   result = {}",

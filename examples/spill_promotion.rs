@@ -31,7 +31,7 @@ fn main() {
         }
     }
     println!(
-    "  ({} spill instructions total, {} bytes of stack spill space)\n",
+        "  ({} spill instructions total, {} bytes of stack spill space)\n",
         pass.spill_instr_count(),
         pass.frame.spill_bytes()
     );

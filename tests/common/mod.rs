@@ -119,7 +119,11 @@ fn emit_stmts(fb: &mut FuncBuilder, ivars: &[Reg], fvars: &[Reg], scratch: Reg, 
             }
             Stmt::IBinI(d, a, i, o) => {
                 let kind = ibin_kind(*o);
-                let imm = if kind == IBinKind::Shl { i.rem_euclid(8) } else { *i };
+                let imm = if kind == IBinKind::Shl {
+                    i.rem_euclid(8)
+                } else {
+                    *i
+                };
                 fb.emit(Op::IBinI {
                     kind,
                     lhs: ivars[*a],

@@ -59,7 +59,10 @@ fn irreducible_cfg_through_full_pipeline() {
     );
     m.verify().unwrap();
     let (v2, _) = sim::run_module(&m, MachineConfig::with_ccm(64), "main").unwrap();
-    assert_eq!(v0, v2, "allocation + promotion must handle irreducible flow");
+    assert_eq!(
+        v0, v2,
+        "allocation + promotion must handle irreducible flow"
+    );
 }
 
 /// Running the post-pass allocator twice is harmless: the second pass

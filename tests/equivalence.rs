@@ -12,11 +12,7 @@ fn all_kernels_all_variants_agree_at_512() {
     for k in suite::kernels() {
         let m = suite::build_optimized(&k);
         let base = measure(m.clone(), Variant::Baseline, &machine);
-        assert!(
-            base.checksum.is_finite(),
-            "{}: non-finite checksum",
-            k.name
-        );
+        assert!(base.checksum.is_finite(), "{}: non-finite checksum", k.name);
         for v in [
             Variant::PostPass,
             Variant::PostPassCallGraph,
@@ -48,11 +44,7 @@ fn kernel_sample_agrees_across_ccm_sizes() {
     for name in names {
         let k = suite::kernel(name).expect("kernel exists");
         let m = suite::build_optimized(&k);
-        let base = measure(
-            m.clone(),
-            Variant::Baseline,
-            &MachineConfig::with_ccm(1024),
-        );
+        let base = measure(m.clone(), Variant::Baseline, &MachineConfig::with_ccm(1024));
         for ccm_size in [16, 128, 1024] {
             let machine = MachineConfig::with_ccm(ccm_size);
             for v in [Variant::PostPassCallGraph, Variant::Integrated] {

@@ -18,7 +18,11 @@ fn table1_shape_monoliths_do_not_compact() {
             .iter()
             .find(|r| r.name == name)
             .unwrap_or_else(|| panic!("{name} must spill"));
-        assert!(r.before > 1000, "{name}: expected > 1000 bytes, got {}", r.before);
+        assert!(
+            r.before > 1000,
+            "{name}: expected > 1000 bytes, got {}",
+            r.before
+        );
         assert_eq!(r.after, r.before, "{name}: must not compact");
     }
     // And they are the *only* non-compacting routines above 1000 bytes.

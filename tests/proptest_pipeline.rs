@@ -110,6 +110,43 @@ proptest! {
         prop_assert_eq!(run_checksum(&s), expected);
     }
 
+    /// The post-allocation checker never reports an error on honest
+    /// pipeline output: every variant, at both paper CCM sizes, yields a
+    /// module free of `Severity::Error` diagnostics. (Warnings such as a
+    /// dead spill store are legal for unoptimized spill code.)
+    #[test]
+    fn checker_never_fires_on_honest_output(stmts in arb_stmts(), ccm_size in prop_oneof![Just(512u32), Just(1024)]) {
+        let m = build_module(&stmts);
+        let alloc = AllocConfig::tiny(3);
+        let cfg = checker::CheckerConfig::with_alloc(ccm_size, alloc);
+
+        // Baseline: plain Chaitin-Briggs.
+        let mut base = m.clone();
+        regalloc::allocate_module(&mut base, &alloc);
+        // Post-pass promotion, without and with call-graph information.
+        let mut pp = base.clone();
+        ccm::postpass_promote(&mut pp, &ccm::PostpassConfig { ccm_size, interprocedural: false });
+        let mut ppcg = base.clone();
+        ccm::postpass_promote(&mut ppcg, &ccm::PostpassConfig { ccm_size, interprocedural: true });
+        // Integrated CCM allocation.
+        let mut integ = m.clone();
+        ccm::allocate_module_integrated(&mut integ, &alloc, ccm_size);
+
+        for (label, module) in [
+            ("baseline", &base),
+            ("postpass", &pp),
+            ("postpass-cg", &ppcg),
+            ("integrated", &integ),
+        ] {
+            let diags = checker::check_module(module, &cfg);
+            prop_assert!(
+                !checker::has_errors(&diags),
+                "{label} @ {ccm_size}B:\n{}",
+                checker::render_text(&diags)
+            );
+        }
+    }
+
     /// CCM promotion never increases cycle counts, and the promoted
     /// program never touches main memory more often than the baseline.
     #[test]
