@@ -15,4 +15,11 @@ cargo build --release
 echo "== tier-1: cargo test -q"
 cargo test -q
 
+echo "== release smoke: repro --table1 --check --jobs 2"
+# Exercises the parallel engine end to end in release mode (the unit
+# tests above run debug-mode): a table over the memoized build cache,
+# the full 616-config checker sweep through par_map, and the strict
+# argument parser, all under a small worker count.
+cargo run --release -q -p harness --bin repro -- --table1 --check --jobs 2 > /dev/null
+
 echo "CI green."

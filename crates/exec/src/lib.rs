@@ -1,0 +1,188 @@
+#![warn(missing_docs)]
+//! Parallel experiment engine: a dependency-free scoped thread pool.
+//!
+//! The container this repo builds in has no network, so there is no
+//! `rayon`; this crate hand-rolls the 10% of it the harness needs on
+//! `std::thread::scope` plus an atomic work queue (the same vendored-shim
+//! precedent as `crates/proptest`). The one entry point that matters is
+//! [`par_map`]: map a function over a slice on N worker threads with
+//! three guarantees the experiments rely on —
+//!
+//! 1. **Determinism**: results are collected *by item index*, never by
+//!    completion order, so `par_map(n, ..)` is byte-identical to
+//!    `par_map(1, ..)` for any pure `f`.
+//! 2. **Panic propagation**: a panicking worker does not hang or abort
+//!    the process; the panic is re-raised on the caller with the item's
+//!    label (kernel/variant/CCM size) prepended.
+//! 3. **No oversubscription surprises**: `jobs` is clamped to the item
+//!    count, and `jobs <= 1` runs inline with no threads at all.
+
+mod queue;
+
+pub use queue::WorkerPanic;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of hardware threads, with a fallback of 1 when the OS
+/// cannot say.
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Process-wide default worker count: 0 means "unset, use
+/// [`available`]". Set once at binary startup from `--jobs`.
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by
+/// [`default_jobs`]. Binaries call this once from `--jobs N`.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The default worker count: the last [`set_default_jobs`] value, or
+/// [`available`] if none was set (or 0 was set).
+pub fn default_jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => available(),
+        n => n,
+    }
+}
+
+/// Parses a `--jobs` argument: a positive integer.
+///
+/// # Errors
+///
+/// Returns a human-readable message for zero or non-numeric input.
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(0) => Err("--jobs must be at least 1".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--jobs needs a positive integer, got `{s}`")),
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
+/// results in item order. `label` names an item for diagnostics; when a
+/// worker panics, the panic is re-raised here as
+/// `"<label>: <original message>"` so the failing kernel/variant is
+/// visible even from a release binary.
+///
+/// # Panics
+///
+/// Re-raises the first (lowest-index) worker panic with the item label
+/// prepended.
+pub fn par_map<I, T, F, L>(jobs: usize, items: &[I], label: L, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+    L: Fn(&I) -> String + Sync,
+{
+    match queue::run(jobs, items.len(), |i| f(&items[i])) {
+        Ok(out) => out,
+        Err(p) => panic!("{}: {}", label(&items[p.index]), p.message()),
+    }
+}
+
+/// [`par_map`] with the process-wide [`default_jobs`] worker count.
+pub fn par_map_default<I, T, F, L>(items: &[I], label: L, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+    L: Fn(&I) -> String + Sync,
+{
+    par_map(default_jobs(), items, label, f)
+}
+
+/// A stopwatch for the binaries' per-stage timing lines.
+pub struct Stage {
+    name: String,
+    start: std::time::Instant,
+}
+
+impl Stage {
+    /// Starts timing a named stage.
+    pub fn start(name: impl Into<String>) -> Self {
+        Stage {
+            name: name.into(),
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Finishes the stage, returning the `"<name>: 1.23s (jobs=N)"`
+    /// timing line the binaries print to stderr.
+    pub fn line(self) -> String {
+        format!(
+            "{}: {:.2}s (jobs={})",
+            self.name,
+            self.start.elapsed().as_secs_f64(),
+            default_jobs()
+        )
+    }
+}
+
+/// Times `f`, printing `prog: stage: 1.23s (jobs=N)` to stderr.
+pub fn timed<T>(prog: &str, stage: &str, f: impl FnOnce() -> T) -> T {
+    let s = Stage::start(stage);
+    let out = f();
+    eprintln!("{prog}: {}", s.line());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_for_any_jobs() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = par_map(1, &items, |i| i.to_string(), |&i| i * 31 + 7);
+        for jobs in [2, 3, 8, 64] {
+            let par = par_map(jobs, &items, |i| i.to_string(), |&i| i * 31 + 7);
+            assert_eq!(par, serial, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn panic_carries_item_label() {
+        let items = ["radf5/postpass/512", "fpppp/integrated/1024"];
+        let err = std::panic::catch_unwind(|| {
+            par_map(
+                2,
+                &items,
+                |s| s.to_string(),
+                |s| {
+                    if s.contains("fpppp") {
+                        panic!("checksum mismatch");
+                    }
+                    s.len()
+                },
+            )
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("fpppp/integrated/1024") && msg.contains("checksum mismatch"),
+            "bad panic message: {msg}"
+        );
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_rejects_rest() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert!(parse_jobs("0").is_err());
+        assert!(parse_jobs("lots").is_err());
+    }
+
+    #[test]
+    fn default_jobs_round_trips() {
+        assert!(default_jobs() >= 1);
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}

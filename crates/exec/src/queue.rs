@@ -1,0 +1,135 @@
+//! The scoped work queue underneath [`par_map`](crate::par_map).
+//!
+//! Work items are claimed by index from a shared atomic counter, so the
+//! queue itself is just an integer: workers race on `fetch_add` and each
+//! index is handed out exactly once. Results land in a slot vector keyed
+//! by the same index, which is what makes the output independent of
+//! completion order. A worker panic is caught, recorded with its item
+//! index, and poisons the counter so the remaining workers drain quickly
+//! instead of burning through work that will be thrown away.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A caught worker panic: the index of the item that panicked plus the
+/// payload it unwound with.
+pub struct WorkerPanic {
+    /// Index of the work item whose closure panicked.
+    pub index: usize,
+    /// The unwind payload (`&str` or `String` for ordinary `panic!`s).
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl std::fmt::Debug for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPanic")
+            .field("index", &self.index)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+impl WorkerPanic {
+    /// Best-effort rendering of the payload as text.
+    pub fn message(&self) -> &str {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s
+        } else {
+            "<non-string panic payload>"
+        }
+    }
+}
+
+/// Runs `f(i)` for every `i < n` on `jobs` scoped worker threads and
+/// returns the results ordered by index. On worker panic, returns the
+/// recorded panic with the *lowest* item index (so the error itself is
+/// deterministic, whatever order the failures raced in).
+pub fn run<T, F>(jobs: usize, n: usize, f: F) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let jobs = jobs.clamp(1, n);
+    if jobs == 1 {
+        // Serial fast path: no threads, no catch_unwind frames — the
+        // reference behavior the parallel path must be identical to.
+        return Ok((0..n).map(f).collect());
+    }
+
+    let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let panics: Mutex<Vec<WorkerPanic>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                if poisoned.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                match panic::catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(v) => slots.lock().unwrap()[i] = Some(v),
+                    Err(payload) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        panics
+                            .lock()
+                            .unwrap()
+                            .push(WorkerPanic { index: i, payload });
+                    }
+                }
+            });
+        }
+    });
+
+    let mut panics = panics.into_inner().unwrap();
+    if !panics.is_empty() {
+        panics.sort_by_key(|p| p.index);
+        return Err(panics.remove(0));
+    }
+    Ok(slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|v| v.expect("every index claimed exactly once"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered() {
+        let out = run(4, 100, |i| i * i).unwrap();
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_items_is_empty() {
+        let out: Vec<u32> = run(8, 0, |_| unreachable!()).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        let err = run(4, 50, |i| {
+            if i % 10 == 3 {
+                panic!("boom at {i}");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.index % 10, 3);
+        assert!(err.message().starts_with("boom at"));
+    }
+}

@@ -7,8 +7,12 @@
 //! ```text
 //! ccmc input.iloc [--variant base|postpass|postpass-cg|integrated]
 //!                 [--ccm SIZE] [--unroll N] [--licm] [--run [ENTRY]]
-//!                 [--emit] [--stats] [--check[=json]]
+//!                 [--emit] [--stats] [--check[=json]] [--jobs N]
 //! ```
+//!
+//! `--jobs N` sets the parallel engine's worker count for any harness
+//! machinery ccmc invokes; `--stats` additionally prints per-stage
+//! wall-clock timing lines (parse/opt/alloc/check/run) to stderr.
 
 use std::process::exit;
 
@@ -66,11 +70,15 @@ fn parse_args() -> Options {
             "--stats" => o.stats = true,
             "--check" => o.check = Some(CheckFormat::Text),
             "--check=json" => o.check = Some(CheckFormat::Json),
+            "--jobs" => match exec::parse_jobs(&req_s(args.next(), "--jobs needs a count")) {
+                Ok(n) => exec::set_default_jobs(n),
+                Err(e) => die(&e),
+            },
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ccmc INPUT.iloc [--variant base|postpass|postpass-cg|integrated]\n\
                      \x20            [--ccm SIZE] [--unroll N] [--licm] [--run] [--entry NAME]\n\
-                     \x20            [--emit] [--stats] [--check[=json]]"
+                     \x20            [--emit] [--stats] [--check[=json]] [--jobs N]"
                 );
                 exit(0);
             }
@@ -99,25 +107,44 @@ fn req_s(v: Option<String>, msg: &str) -> String {
 
 fn main() {
     let o = parse_args();
-    let text = std::fs::read_to_string(&o.input)
-        .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", o.input)));
-    let mut m = iloc::parse_module(&text).unwrap_or_else(|e| die(&e.to_string()));
-    m.verify().unwrap_or_else(|e| die(&e.to_string()));
+    // Per-stage wall-clock, printed (with --stats) after the run.
+    let mut stage_lines: Vec<String> = Vec::new();
+    let mut staged = |name: &str, f: &mut dyn FnMut()| {
+        let s = exec::Stage::start(name);
+        f();
+        stage_lines.push(s.line());
+    };
 
-    let opt_stats = opt::optimize_module(
-        &mut m,
-        &opt::OptOptions {
-            unroll: o.unroll,
-            licm: o.licm,
-            ..opt::OptOptions::default()
-        },
-    );
-    let spilled = allocate_variant(&mut m, o.variant, o.ccm_size);
-    m.verify()
-        .unwrap_or_else(|e| die(&format!("post-allocation verify: {e}")));
+    let mut m = iloc::Module::new();
+    staged("parse", &mut || {
+        let text = std::fs::read_to_string(&o.input)
+            .unwrap_or_else(|e| die(&format!("cannot read {}: {e}", o.input)));
+        m = iloc::parse_module(&text).unwrap_or_else(|e| die(&e.to_string()));
+        m.verify().unwrap_or_else(|e| die(&e.to_string()));
+    });
+
+    let mut opt_stats = opt::OptStats::default();
+    staged("optimize", &mut || {
+        opt_stats = opt::optimize_module(
+            &mut m,
+            &opt::OptOptions {
+                unroll: o.unroll,
+                licm: o.licm,
+                ..opt::OptOptions::default()
+            },
+        );
+    });
+    let mut spilled = 0;
+    staged("allocate", &mut || {
+        spilled = allocate_variant(&mut m, o.variant, o.ccm_size);
+        m.verify()
+            .unwrap_or_else(|e| die(&format!("post-allocation verify: {e}")));
+    });
 
     if let Some(format) = o.check {
+        let s = exec::Stage::start("check");
         let diags = harness::check_allocated(&m, o.ccm_size);
+        stage_lines.push(s.line());
         match format {
             CheckFormat::Text => {
                 if diags.is_empty() {
@@ -161,9 +188,11 @@ fn main() {
     }
 
     if let Some(entry) = o.run {
+        let s = exec::Stage::start("run");
         let cfg = MachineConfig::with_ccm(o.ccm_size);
         match sim::run_module(&m, cfg, &entry) {
             Ok((vals, metrics)) => {
+                stage_lines.push(s.line());
                 eprintln!(
                     "ccmc: {} cycles ({} memory-op), {} instructions, {} ccm ops",
                     metrics.cycles, metrics.mem_op_cycles, metrics.instrs, metrics.ccm_ops
@@ -176,6 +205,12 @@ fn main() {
                 }
             }
             Err(e) => die(&format!("execution trapped: {e}")),
+        }
+    }
+
+    if o.stats {
+        for line in &stage_lines {
+            eprintln!("ccmc: {line}");
         }
     }
 }

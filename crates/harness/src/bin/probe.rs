@@ -3,43 +3,98 @@
 //! For every suite kernel: spill counts and register pressure under the
 //! default allocator, then the post-allocation checker's verdict on the
 //! post-pass-with-call-graph CCM variant (512-byte scratchpad).
+//!
+//! Kernels are probed in parallel (`--jobs N`, default: available
+//! parallelism); the report is assembled in suite order regardless of
+//! which worker finished first, and a timing line goes to stderr.
 
 fn main() {
-    const CCM: u32 = 512;
-    for k in suite::kernels() {
-        let m = suite::build_optimized(&k);
-        let mut am = m.clone();
-        let stats = regalloc::allocate_module(&mut am, &regalloc::AllocConfig::default());
-        let bytes: u32 = am.functions.iter().map(|f| f.frame.spill_bytes()).sum();
-        // pressure of the biggest routine
-        let mut maxg = 0;
-        let mut maxf = 0;
-        for f in &m.functions {
-            let lv = analysis::Liveness::compute(f);
-            maxg = maxg.max(lv.max_pressure(f, iloc::RegClass::Gpr));
-            maxf = maxf.max(lv.max_pressure(f, iloc::RegClass::Fpr));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                eprintln!("usage: probe [--jobs N]");
+                std::process::exit(0);
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => set_jobs(v),
+                    None => {
+                        eprintln!("probe: --jobs needs a count");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            a if a.starts_with("--jobs=") => set_jobs(a.trim_start_matches("--jobs=")),
+            a => {
+                eprintln!("probe: unknown argument `{a}` (usage: probe [--jobs N])");
+                std::process::exit(2);
+            }
         }
-        // Checker verdict on the CCM-promoted allocation.
-        let mut cm = m.clone();
-        harness::allocate_variant(&mut cm, harness::Variant::PostPassCallGraph, CCM);
-        let diags = harness::check_allocated(&cm, CCM);
-        let errors = checker::errors(&diags).len();
-        let verdict = if diags.is_empty() {
-            "clean".to_string()
-        } else {
-            format!("{} errors, {} warnings", errors, diags.len() - errors)
-        };
-        println!(
-            "{:<10} spills={:<4} bytes={:<6} pressure g={} f={} | checker: {}",
-            k.name,
-            stats.total_spilled(),
-            bytes,
-            maxg,
-            maxf,
-            verdict
-        );
-        for d in &diags {
-            println!("           {d}");
+        i += 1;
+    }
+
+    const CCM: u32 = 512;
+    let kernels = suite::kernels();
+    let stage = exec::Stage::start("probe");
+    let reports = exec::par_map_default(
+        &kernels,
+        |k| format!("probe {}", k.name),
+        |k| {
+            use std::fmt::Write as _;
+            let m = (*harness::cache::optimized(k)).clone();
+            let mut am = m.clone();
+            let stats = regalloc::allocate_module(&mut am, &regalloc::AllocConfig::default());
+            let bytes: u32 = am.functions.iter().map(|f| f.frame.spill_bytes()).sum();
+            // pressure of the biggest routine
+            let mut maxg = 0;
+            let mut maxf = 0;
+            for f in &m.functions {
+                let lv = analysis::Liveness::compute(f);
+                maxg = maxg.max(lv.max_pressure(f, iloc::RegClass::Gpr));
+                maxf = maxf.max(lv.max_pressure(f, iloc::RegClass::Fpr));
+            }
+            // Checker verdict on the CCM-promoted allocation.
+            let mut cm = m.clone();
+            harness::allocate_variant(&mut cm, harness::Variant::PostPassCallGraph, CCM);
+            let diags = harness::check_allocated(&cm, CCM);
+            let errors = checker::errors(&diags).len();
+            let verdict = if diags.is_empty() {
+                "clean".to_string()
+            } else {
+                format!("{} errors, {} warnings", errors, diags.len() - errors)
+            };
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<10} spills={:<4} bytes={:<6} pressure g={} f={} | checker: {}",
+                k.name,
+                stats.total_spilled(),
+                bytes,
+                maxg,
+                maxf,
+                verdict
+            );
+            for d in &diags {
+                let _ = writeln!(out, "           {d}");
+            }
+            out
+        },
+    );
+    for r in reports {
+        print!("{r}");
+    }
+    eprintln!("probe: {}", stage.line());
+}
+
+fn set_jobs(v: &str) {
+    match exec::parse_jobs(v) {
+        Ok(n) => exec::set_default_jobs(n),
+        Err(e) => {
+            eprintln!("probe: {e}");
+            std::process::exit(2);
         }
     }
 }

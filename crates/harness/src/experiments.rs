@@ -1,8 +1,19 @@
 //! The experiments: one function per table/figure of the paper.
+//!
+//! Every sweep-shaped experiment fans out over the parallel engine
+//! ([`exec::par_map`]) with one work item per independent (unit, variant
+//! set, CCM size) measurement, and collects results **by item index** so
+//! the output is byte-identical whatever `--jobs` value ran it. The
+//! `*_jobs` variants take an explicit worker count (used by the
+//! determinism tests); the plain names use [`exec::default_jobs`], which
+//! the binaries set from `--jobs`.
+
+use std::collections::HashMap;
 
 use sim::{CacheConfig, MachineConfig};
 
-use crate::pipeline::{measure, Measurement, Variant};
+use crate::cache;
+use crate::pipeline::{Measurement, Variant};
 
 /// Table 1 row: spill-memory compaction for one routine.
 #[derive(Clone, Debug)]
@@ -30,26 +41,39 @@ impl CompactionRow {
 /// coloring-based spill-memory compaction, reporting bytes before/after
 /// per spilling routine, sorted by descending `before`.
 pub fn table1() -> Vec<CompactionRow> {
-    let mut rows = Vec::new();
-    for k in suite::kernels() {
-        let mut m = suite::build_optimized(&k);
-        regalloc::allocate_module(&mut m, &regalloc::AllocConfig::default());
-        let before: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
-        if before == 0 {
-            continue;
-        }
-        ccm::compact_module(&mut m);
-        let after: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
-        // Correctness guard: compaction must not change results.
-        let (v, _) = sim::run_module(&m, MachineConfig::default(), "main")
-            .unwrap_or_else(|e| panic!("{} trapped after compaction: {e}", k.name));
-        assert!(v.floats[0].is_finite());
-        rows.push(CompactionRow {
-            name: k.name.to_string(),
-            before,
-            after,
-        });
-    }
+    table1_jobs(exec::default_jobs())
+}
+
+/// [`table1`] with an explicit worker count.
+pub fn table1_jobs(jobs: usize) -> Vec<CompactionRow> {
+    let kernels = suite::kernels();
+    let mut rows: Vec<CompactionRow> = exec::par_map(
+        jobs,
+        &kernels,
+        |k| format!("table1 {}", k.name),
+        |k| {
+            let mut m = (*cache::optimized(k)).clone();
+            regalloc::allocate_module(&mut m, &regalloc::AllocConfig::default());
+            let before: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
+            if before == 0 {
+                return None;
+            }
+            ccm::compact_module(&mut m);
+            let after: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
+            // Correctness guard: compaction must not change results.
+            let (v, _) = sim::run_module(&m, MachineConfig::default(), "main")
+                .unwrap_or_else(|e| panic!("{} trapped after compaction: {e}", k.name));
+            assert!(v.floats[0].is_finite());
+            Some(CompactionRow {
+                name: k.name.to_string(),
+                before,
+                after,
+            })
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
     rows.sort_by(|a, b| b.before.cmp(&a.before).then(a.name.cmp(&b.name)));
     rows
 }
@@ -70,12 +94,16 @@ pub struct SpeedupRow {
 }
 
 impl SpeedupRow {
-    /// Relative cycles of `m` vs. the baseline.
+    /// Relative cycles of `m` vs. the baseline. A zero-cycle baseline is
+    /// clamped to one cycle so the ratio stays finite (a ratio of
+    /// garbage-but-finite beats NaN/inf silently spreading into the
+    /// reports and CSV).
     pub fn rel(&self, m: &Measurement) -> f64 {
-        m.cycles as f64 / self.baseline.cycles as f64
+        m.cycles as f64 / self.baseline.cycles.max(1) as f64
     }
 
-    /// Relative memory-operation cycles of `m` vs. the baseline.
+    /// Relative memory-operation cycles of `m` vs. the baseline, with the
+    /// same zero-denominator clamp as [`SpeedupRow::rel`].
     pub fn rel_mem(&self, m: &Measurement) -> f64 {
         m.mem_cycles as f64 / self.baseline.mem_cycles.max(1) as f64
     }
@@ -84,71 +112,142 @@ impl SpeedupRow {
     pub fn ccm_variants(&self) -> [&Measurement; 3] {
         [&self.postpass, &self.postpass_cg, &self.integrated]
     }
+
+    /// Cycle count of the best (fastest) CCM variant.
+    pub fn best_ccm_cycles(&self) -> u64 {
+        self.ccm_variants()
+            .iter()
+            .map(|m| m.cycles)
+            .min()
+            .expect("three variants")
+    }
+}
+
+/// Measures one kernel at one CCM size under all four variants, or `None`
+/// if the kernel does not spill (the paper reports only routines that
+/// spill).
+fn measure_kernel(k: &suite::Kernel, ccm_size: u32) -> Option<SpeedupRow> {
+    let machine = MachineConfig::with_ccm(ccm_size);
+    let m = cache::optimized(k);
+    let baseline = cache::measure_unit(k.name, &m, Variant::Baseline, &machine);
+    if baseline.spilled_ranges == 0 {
+        return None;
+    }
+    let postpass = cache::measure_unit(k.name, &m, Variant::PostPass, &machine);
+    let postpass_cg = cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine);
+    let integrated = cache::measure_unit(k.name, &m, Variant::Integrated, &machine);
+    for (v, r) in [
+        ("post-pass", &postpass),
+        ("post-pass/cg", &postpass_cg),
+        ("integrated", &integrated),
+    ] {
+        assert_eq!(
+            r.checksum.to_bits(),
+            baseline.checksum.to_bits(),
+            "{}: {v} changed program output",
+            k.name
+        );
+    }
+    Some(SpeedupRow {
+        name: k.name.to_string(),
+        baseline,
+        postpass,
+        postpass_cg,
+        integrated,
+    })
 }
 
 /// Runs the Table 2 experiment at the given CCM size over every kernel
 /// that spills: absolute baseline cycles plus relative cycle counts for
 /// the three CCM allocation methods.
 pub fn speedup_rows(ccm_size: u32) -> Vec<SpeedupRow> {
-    let machine = MachineConfig::with_ccm(ccm_size);
-    let mut rows = Vec::new();
-    for k in suite::kernels() {
-        let m = suite::build_optimized(&k);
-        let baseline = measure(m.clone(), Variant::Baseline, &machine);
-        if baseline.spilled_ranges == 0 {
-            continue; // the paper reports only routines that spill
+    speedup_rows_jobs(ccm_size, exec::default_jobs())
+}
+
+/// [`speedup_rows`] with an explicit worker count.
+pub fn speedup_rows_jobs(ccm_size: u32, jobs: usize) -> Vec<SpeedupRow> {
+    speedup_rows_multi(&[ccm_size], jobs)
+        .pop()
+        .expect("one size requested")
+}
+
+/// Runs [`speedup_rows`] for several CCM sizes as one flat work-item pool
+/// (kernel × size), returning one row vector per requested size with
+/// kernels in suite order. This is how `table3` and the CSV export get
+/// both sizes measured concurrently instead of as two serial sweeps.
+pub fn speedup_rows_multi(sizes: &[u32], jobs: usize) -> Vec<Vec<SpeedupRow>> {
+    let kernels = suite::kernels();
+    let mut items: Vec<(usize, u32, suite::Kernel)> = Vec::new();
+    for (si, &size) in sizes.iter().enumerate() {
+        for k in &kernels {
+            items.push((si, size, k.clone()));
         }
-        let postpass = measure(m.clone(), Variant::PostPass, &machine);
-        let postpass_cg = measure(m.clone(), Variant::PostPassCallGraph, &machine);
-        let integrated = measure(m, Variant::Integrated, &machine);
-        for (v, r) in [
-            ("post-pass", &postpass),
-            ("post-pass/cg", &postpass_cg),
-            ("integrated", &integrated),
-        ] {
-            assert_eq!(
-                r.checksum.to_bits(),
-                baseline.checksum.to_bits(),
-                "{}: {v} changed program output",
-                k.name
-            );
-        }
-        rows.push(SpeedupRow {
-            name: k.name.to_string(),
-            baseline,
-            postpass,
-            postpass_cg,
-            integrated,
-        });
     }
-    rows
+    let results = exec::par_map(
+        jobs,
+        &items,
+        |(_, size, k)| format!("speedups {} @ {size} B", k.name),
+        |(_, size, k)| measure_kernel(k, *size),
+    );
+    let mut out: Vec<Vec<SpeedupRow>> = sizes.iter().map(|_| Vec::new()).collect();
+    for ((si, _, _), row) in items.iter().zip(results) {
+        if let Some(r) = row {
+            out[*si].push(r);
+        }
+    }
+    out
+}
+
+/// Joins the two Table 3 row sets **by routine name** and returns the
+/// names whose best CCM-variant cycle count improves at 1024 B.
+///
+/// The spilling set is recomputed per CCM size, so the two vectors need
+/// not be positionally aligned — a routine present at one size but not
+/// the other is skipped, never mispaired. Duplicate names make the join
+/// ambiguous and are a hard error (not a `debug_assert!`: a release
+/// build must refuse to compare misaligned rows too).
+///
+/// # Errors
+///
+/// Returns a message naming the duplicated routine if either row set
+/// contains the same name twice.
+pub fn improved_names(r512: &[SpeedupRow], r1024: &[SpeedupRow]) -> Result<Vec<String>, String> {
+    let mut at_1024: HashMap<&str, &SpeedupRow> = HashMap::new();
+    for r in r1024 {
+        if at_1024.insert(r.name.as_str(), r).is_some() {
+            return Err(format!("duplicate routine `{}` in the 1024 B rows", r.name));
+        }
+    }
+    let mut seen_512: HashMap<&str, ()> = HashMap::new();
+    let mut improved = Vec::new();
+    for a in r512 {
+        if seen_512.insert(a.name.as_str(), ()).is_some() {
+            return Err(format!("duplicate routine `{}` in the 512 B rows", a.name));
+        }
+        let Some(b) = at_1024.get(a.name.as_str()) else {
+            continue; // spills at 512 B but not at 1024 B: nothing to pair
+        };
+        if b.best_ccm_cycles() < a.best_ccm_cycles() {
+            improved.push(a.name.clone());
+        }
+    }
+    Ok(improved)
 }
 
 /// Table 3: kernels whose best CCM-variant cycle count improves when the
 /// CCM grows from 512 to 1024 bytes. Returns `(rows512, rows1024,
 /// improved_names)`.
 pub fn table3() -> (Vec<SpeedupRow>, Vec<SpeedupRow>, Vec<String>) {
-    let r512 = speedup_rows(512);
-    let r1024 = speedup_rows(1024);
-    let mut improved = Vec::new();
-    for (a, b) in r512.iter().zip(&r1024) {
-        debug_assert_eq!(a.name, b.name);
-        let best_512 = a
-            .ccm_variants()
-            .iter()
-            .map(|m| m.cycles)
-            .min()
-            .expect("three variants");
-        let best_1024 = b
-            .ccm_variants()
-            .iter()
-            .map(|m| m.cycles)
-            .min()
-            .expect("three variants");
-        if best_1024 < best_512 {
-            improved.push(a.name.clone());
-        }
-    }
+    table3_jobs(exec::default_jobs())
+}
+
+/// [`table3`] with an explicit worker count.
+pub fn table3_jobs(jobs: usize) -> (Vec<SpeedupRow>, Vec<SpeedupRow>, Vec<String>) {
+    let mut sized = speedup_rows_multi(&[512, 1024], jobs);
+    let r1024 = sized.pop().expect("two sizes");
+    let r512 = sized.pop().expect("two sizes");
+    let improved =
+        improved_names(&r512, &r1024).unwrap_or_else(|e| panic!("table3 row pairing: {e}"));
     (r512, r1024, improved)
 }
 
@@ -178,8 +277,8 @@ pub fn table4_from(rows: &[SpeedupRow]) -> [Table4Cell; 3] {
         let v_total: u64 = rows.iter().map(|r| pick(r).cycles).sum();
         let v_mem: u64 = rows.iter().map(|r| pick(r).mem_cycles).sum();
         out[i] = Table4Cell {
-            total_pct: 100.0 * (1.0 - v_total as f64 / base_total as f64),
-            mem_pct: 100.0 * (1.0 - v_mem as f64 / base_mem as f64),
+            total_pct: 100.0 * (1.0 - v_total as f64 / base_total.max(1) as f64),
+            mem_pct: 100.0 * (1.0 - v_mem as f64 / base_mem.max(1) as f64),
         };
     }
     out
@@ -207,39 +306,49 @@ impl ProgramRow {
 /// Runs the Figure 3 (512 B) or Figure 4 (1024 B) experiment over the 13
 /// programs.
 pub fn figure(ccm_size: u32) -> Vec<ProgramRow> {
+    figure_jobs(ccm_size, exec::default_jobs())
+}
+
+/// [`figure`] with an explicit worker count.
+pub fn figure_jobs(ccm_size: u32, jobs: usize) -> Vec<ProgramRow> {
     let machine = MachineConfig::with_ccm(ccm_size);
-    let mut rows = Vec::new();
-    for p in suite::programs() {
-        let m = suite::build_program(&p);
-        let base = measure(m.clone(), Variant::Baseline, &machine);
-        let mut rel = [(1.0, 1.0); 3];
-        for (i, v) in [
-            Variant::PostPass,
-            Variant::PostPassCallGraph,
-            Variant::Integrated,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let r = measure(m.clone(), v, &machine);
-            assert_eq!(
-                r.checksum.to_bits(),
-                base.checksum.to_bits(),
-                "{}: {v:?} changed program output",
-                p.name
-            );
-            rel[i] = (
-                r.cycles as f64 / base.cycles as f64,
-                r.mem_cycles as f64 / base.mem_cycles.max(1) as f64,
-            );
-        }
-        rows.push(ProgramRow {
-            name: p.name.to_string(),
-            baseline: (base.cycles, base.mem_cycles),
-            rel,
-        });
-    }
-    rows
+    let programs = suite::programs();
+    exec::par_map(
+        jobs,
+        &programs,
+        |p| format!("figure {} @ {ccm_size} B", p.name),
+        |p| {
+            let m = cache::program(p);
+            let base = cache::measure_unit(p.name, &m, Variant::Baseline, &machine);
+            let mut rel = [(1.0, 1.0); 3];
+            for (i, v) in [
+                Variant::PostPass,
+                Variant::PostPassCallGraph,
+                Variant::Integrated,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let r = cache::measure_unit(p.name, &m, v, &machine);
+                assert_eq!(
+                    r.checksum.to_bits(),
+                    base.checksum.to_bits(),
+                    "{}: {v:?} changed program output",
+                    p.name
+                );
+                // Same zero-denominator clamp as `SpeedupRow::rel`.
+                rel[i] = (
+                    r.cycles as f64 / base.cycles.max(1) as f64,
+                    r.mem_cycles as f64 / base.mem_cycles.max(1) as f64,
+                );
+            }
+            ProgramRow {
+                name: p.name.to_string(),
+                baseline: (base.cycles, base.mem_cycles),
+                rel,
+            }
+        },
+    )
 }
 
 /// §4.3 ablation result: one memory-hierarchy configuration.
@@ -262,6 +371,11 @@ pub struct AblationRow {
 /// write buffer, and a cache with a victim cache — in each case comparing
 /// spilling through the hierarchy against spilling to the CCM.
 pub fn ablation() -> Vec<AblationRow> {
+    ablation_jobs(exec::default_jobs())
+}
+
+/// [`ablation`] with an explicit worker count.
+pub fn ablation_jobs(jobs: usize) -> Vec<AblationRow> {
     let kernels = ["fpppp", "twldrv", "jacld", "radf5", "deseco"];
     let mut configs: Vec<(String, CacheConfig)> = Vec::new();
     let base = CacheConfig::small_direct_mapped();
@@ -289,37 +403,71 @@ pub fn ablation() -> Vec<AblationRow> {
         },
     ));
 
-    let mut rows = Vec::new();
-    for (label, cache) in configs {
-        let machine = MachineConfig {
-            cache: Some(cache),
-            ..MachineConfig::with_ccm(512)
-        };
-        let mut base_cycles = 0;
-        let mut ccm_cycles = 0;
-        let mut base_hits = (0u64, 0u64);
-        let mut ccm_hits = (0u64, 0u64);
+    // One work item per (configuration, kernel); per-config sums are
+    // folded afterward in item order.
+    let mut items: Vec<(usize, CacheConfig, &'static str)> = Vec::new();
+    for (ci, (_, ccfg)) in configs.iter().enumerate() {
         for name in kernels {
-            let k = suite::kernel(name).expect("kernel exists");
-            let m = suite::build_optimized(&k);
-            let b = measure(m.clone(), Variant::Baseline, &machine);
-            let c = measure(m, Variant::PostPassCallGraph, &machine);
-            base_cycles += b.cycles;
-            ccm_cycles += c.cycles;
-            base_hits.0 += b.metrics.cache.hits + b.metrics.cache.victim_hits;
-            base_hits.1 +=
-                b.metrics.cache.misses + b.metrics.cache.hits + b.metrics.cache.victim_hits;
-            ccm_hits.0 += c.metrics.cache.hits + c.metrics.cache.victim_hits;
-            ccm_hits.1 +=
-                c.metrics.cache.misses + c.metrics.cache.hits + c.metrics.cache.victim_hits;
+            items.push((ci, ccfg.clone(), name));
         }
-        rows.push(AblationRow {
+    }
+    struct Cell {
+        config: usize,
+        base_cycles: u64,
+        ccm_cycles: u64,
+        base_hits: (u64, u64),
+        ccm_hits: (u64, u64),
+    }
+    let cells = exec::par_map(
+        jobs,
+        &items,
+        |(ci, _, name)| format!("ablation {} on {}", name, configs[*ci].0),
+        |(ci, ccfg, name)| {
+            let machine = MachineConfig {
+                cache: Some(ccfg.clone()),
+                ..MachineConfig::with_ccm(512)
+            };
+            let k = suite::kernel(name).expect("kernel exists");
+            let m = cache::optimized(&k);
+            let b = cache::measure_unit(k.name, &m, Variant::Baseline, &machine);
+            let c = cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine);
+            let hits = |r: &Measurement| {
+                let h = r.metrics.cache.hits + r.metrics.cache.victim_hits;
+                (h, h + r.metrics.cache.misses)
+            };
+            Cell {
+                config: *ci,
+                base_cycles: b.cycles,
+                ccm_cycles: c.cycles,
+                base_hits: hits(&b),
+                ccm_hits: hits(&c),
+            }
+        },
+    );
+
+    let mut rows: Vec<AblationRow> = configs
+        .into_iter()
+        .map(|(label, _)| AblationRow {
             config: label,
-            base_cycles,
-            base_hit_rate: base_hits.0 as f64 / base_hits.1.max(1) as f64,
-            ccm_cycles,
-            ccm_hit_rate: ccm_hits.0 as f64 / ccm_hits.1.max(1) as f64,
-        });
+            base_cycles: 0,
+            base_hit_rate: 0.0,
+            ccm_cycles: 0,
+            ccm_hit_rate: 0.0,
+        })
+        .collect();
+    let mut base_hits = vec![(0u64, 0u64); rows.len()];
+    let mut ccm_hits = vec![(0u64, 0u64); rows.len()];
+    for c in cells {
+        rows[c.config].base_cycles += c.base_cycles;
+        rows[c.config].ccm_cycles += c.ccm_cycles;
+        base_hits[c.config].0 += c.base_hits.0;
+        base_hits[c.config].1 += c.base_hits.1;
+        ccm_hits[c.config].0 += c.ccm_hits.0;
+        ccm_hits[c.config].1 += c.ccm_hits.1;
+    }
+    for (i, r) in rows.iter_mut().enumerate() {
+        r.base_hit_rate = base_hits[i].0 as f64 / base_hits[i].1.max(1) as f64;
+        r.ccm_hit_rate = ccm_hits[i].0 as f64 / ccm_hits[i].1.max(1) as f64;
     }
     rows
 }
@@ -352,29 +500,64 @@ impl CheckRow {
 /// Runs the post-allocation checker over the whole suite (every kernel
 /// and every program) under each variant at each CCM size.
 pub fn check_suite(sizes: &[u32]) -> Vec<CheckRow> {
-    let mut units: Vec<(String, iloc::Module)> = Vec::new();
-    for k in suite::kernels() {
-        units.push((k.name.to_string(), suite::build_optimized(&k)));
+    check_suite_jobs(sizes, exec::default_jobs())
+}
+
+/// [`check_suite`] with an explicit worker count.
+pub fn check_suite_jobs(sizes: &[u32], jobs: usize) -> Vec<CheckRow> {
+    // Warm the build cache in parallel, one item per unit…
+    let kernels = suite::kernels();
+    let programs = suite::programs();
+    enum Unit {
+        Kernel(suite::Kernel),
+        Program(suite::Program),
     }
-    for p in suite::programs() {
-        units.push((p.name.to_string(), suite::build_program(&p)));
-    }
-    let mut rows = Vec::new();
-    for (name, m) in &units {
+    let units: Vec<Unit> = kernels
+        .into_iter()
+        .map(Unit::Kernel)
+        .chain(programs.into_iter().map(Unit::Program))
+        .collect();
+    let built: Vec<(String, std::sync::Arc<iloc::Module>)> = exec::par_map(
+        jobs,
+        &units,
+        |u| {
+            let name = match u {
+                Unit::Kernel(k) => k.name,
+                Unit::Program(p) => p.name,
+            };
+            format!("build {name}")
+        },
+        |u| match u {
+            Unit::Kernel(k) => (k.name.to_string(), cache::optimized(k)),
+            Unit::Program(p) => (p.name.to_string(), cache::program(p)),
+        },
+    );
+    // …then one work item per (unit, CCM size, variant), enumerated in
+    // the same nesting order as the old serial loop so the row order (and
+    // every rendering of it) is unchanged.
+    let mut items: Vec<(usize, u32, Variant)> = Vec::new();
+    for ui in 0..built.len() {
         for &ccm in sizes {
             for v in Variant::ALL {
-                let mut am = m.clone();
-                crate::pipeline::allocate_variant(&mut am, v, ccm);
-                rows.push(CheckRow {
-                    name: name.clone(),
-                    variant: v,
-                    ccm,
-                    diags: crate::pipeline::check_allocated(&am, ccm),
-                });
+                items.push((ui, ccm, v));
             }
         }
     }
-    rows
+    exec::par_map(
+        jobs,
+        &items,
+        |(ui, ccm, v)| format!("check {} {v:?} @ {ccm} B", built[*ui].0),
+        |(ui, ccm, v)| {
+            let (name, module) = &built[*ui];
+            let a = cache::allocated(name, module, *v, *ccm);
+            CheckRow {
+                name: name.clone(),
+                variant: *v,
+                ccm: *ccm,
+                diags: (*a.diags).clone(),
+            }
+        },
+    )
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 use regalloc::AllocConfig;
 use sim::MachineConfig;
 
-use crate::pipeline::{measure, Variant};
+use crate::pipeline::Variant;
 
 /// One point on the CCM sizing curve.
 #[derive(Clone, Copy, Debug)]
@@ -25,44 +25,73 @@ pub struct SweepPoint {
 /// Sweeps the CCM size over the spilling kernels, answering the paper's
 /// sizing question: most of the benefit arrives by a few hundred bytes.
 pub fn ccm_sweep(sizes: &[u32]) -> Vec<SweepPoint> {
-    // Build + measure the baseline once.
-    let modules: Vec<iloc::Module> = suite::kernels()
-        .iter()
-        .map(suite::build_optimized)
-        .collect();
+    ccm_sweep_jobs(sizes, exec::default_jobs())
+}
+
+/// [`ccm_sweep`] with an explicit worker count.
+pub fn ccm_sweep_jobs(sizes: &[u32], jobs: usize) -> Vec<SweepPoint> {
+    // Measure the baseline once, in parallel over the (cached) builds.
+    let kernels = suite::kernels();
     let machine0 = MachineConfig::with_ccm(16);
-    let baselines: Vec<_> = modules
-        .iter()
-        .map(|m| measure(m.clone(), Variant::Baseline, &machine0))
-        .collect();
-    let spilling: Vec<usize> = (0..modules.len())
+    let baselines = exec::par_map(
+        jobs,
+        &kernels,
+        |k| format!("sweep baseline {}", k.name),
+        |k| {
+            let m = crate::cache::optimized(k);
+            crate::cache::measure_unit(k.name, &m, Variant::Baseline, &machine0)
+        },
+    );
+    let spilling: Vec<usize> = (0..kernels.len())
         .filter(|&i| baselines[i].spilled_ranges > 0)
         .collect();
     let base_total: u64 = spilling.iter().map(|&i| baselines[i].cycles).sum();
     let base_mem: u64 = spilling.iter().map(|&i| baselines[i].mem_cycles).sum();
 
-    let mut out = Vec::new();
-    for &size in sizes {
-        let machine = MachineConfig::with_ccm(size);
-        let mut total = 0u64;
-        let mut mem = 0u64;
-        let mut promoted = 0u64;
-        let mut ccm_possible = 0u64;
-        for &i in &spilling {
-            let r = measure(modules[i].clone(), Variant::PostPassCallGraph, &machine);
-            total += r.cycles;
-            mem += r.mem_cycles;
-            promoted += r.metrics.ccm_ops;
-            ccm_possible += r.metrics.spill_stores + r.metrics.spill_restores;
+    // One work item per (size, spilling kernel); per-size totals are
+    // folded in item order afterward.
+    let mut items: Vec<(usize, u32, usize)> = Vec::new();
+    for (si, &size) in sizes.iter().enumerate() {
+        for &ki in &spilling {
+            items.push((si, size, ki));
         }
-        out.push(SweepPoint {
-            ccm_size: size,
-            total_pct: 100.0 * (1.0 - total as f64 / base_total as f64),
-            mem_pct: 100.0 * (1.0 - mem as f64 / base_mem as f64),
-            promoted_fraction: promoted as f64 / ccm_possible.max(1) as f64,
-        });
     }
-    out
+    let cells = exec::par_map(
+        jobs,
+        &items,
+        |(_, size, ki)| format!("sweep {} @ {size} B", kernels[*ki].name),
+        |(si, size, ki)| {
+            let machine = MachineConfig::with_ccm(*size);
+            let k = &kernels[*ki];
+            let m = crate::cache::optimized(k);
+            let r = crate::cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine);
+            (
+                *si,
+                r.cycles,
+                r.mem_cycles,
+                r.metrics.ccm_ops,
+                r.metrics.spill_stores + r.metrics.spill_restores,
+            )
+        },
+    );
+
+    let mut sums = vec![(0u64, 0u64, 0u64, 0u64); sizes.len()];
+    for (si, cycles, mem, promoted, possible) in cells {
+        sums[si].0 += cycles;
+        sums[si].1 += mem;
+        sums[si].2 += promoted;
+        sums[si].3 += possible;
+    }
+    sizes
+        .iter()
+        .zip(sums)
+        .map(|(&size, (total, mem, promoted, ccm_possible))| SweepPoint {
+            ccm_size: size,
+            total_pct: 100.0 * (1.0 - total as f64 / base_total.max(1) as f64),
+            mem_pct: 100.0 * (1.0 - mem as f64 / base_mem.max(1) as f64),
+            promoted_fraction: promoted as f64 / ccm_possible.max(1) as f64,
+        })
+        .collect()
 }
 
 /// One row of a design-choice ablation.
@@ -349,39 +378,47 @@ pub fn scheduling_study() -> Vec<SchedRow> {
     let mut rows = Vec::new();
 
     let mut run = |label: &str, pre_sched: bool, post_sched: bool, promote: bool| {
-        let mut spilled = 0;
-        let mut stalls = 0;
-        let mut cycles = 0;
-        for name in kernels {
-            let k = suite::kernel(name).expect("kernel");
-            let mut m = suite::build_optimized(&k);
-            if pre_sched {
-                sched::schedule_module(&mut m, 3);
-            }
-            spilled += regalloc::allocate_module(&mut m, &AllocConfig::default()).total_spilled();
-            if promote {
-                ccm::postpass_promote(
-                    &mut m,
-                    &ccm::PostpassConfig {
-                        ccm_size: 512,
-                        interprocedural: true,
-                    },
-                );
-            }
-            if post_sched {
-                sched::schedule_module(&mut m, 3);
-            }
-            m.verify().expect("verifies");
-            let (_, metrics) = sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
-            stalls += metrics.stall_cycles;
-            cycles += metrics.cycles;
-        }
-        rows.push(SchedRow {
+        let cells = exec::par_map_default(
+            &kernels,
+            |name| format!("sched study {name} ({label})"),
+            |name| {
+                let k = suite::kernel(name).expect("kernel");
+                let mut m = (*crate::cache::optimized(&k)).clone();
+                if pre_sched {
+                    sched::schedule_module(&mut m, 3);
+                }
+                let spilled =
+                    regalloc::allocate_module(&mut m, &AllocConfig::default()).total_spilled();
+                if promote {
+                    ccm::postpass_promote(
+                        &mut m,
+                        &ccm::PostpassConfig {
+                            ccm_size: 512,
+                            interprocedural: true,
+                        },
+                    );
+                }
+                if post_sched {
+                    sched::schedule_module(&mut m, 3);
+                }
+                m.verify().expect("verifies");
+                let (_, metrics) =
+                    sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
+                (spilled, metrics.stall_cycles, metrics.cycles)
+            },
+        );
+        let mut row = SchedRow {
             config: label.to_string(),
-            spilled,
-            stalls,
-            cycles,
-        });
+            spilled: 0,
+            stalls: 0,
+            cycles: 0,
+        };
+        for (spilled, stalls, cycles) in cells {
+            row.spilled += spilled;
+            row.stalls += stalls;
+            row.cycles += cycles;
+        }
+        rows.push(row);
     };
 
     run("unscheduled, no CCM", false, false, false);

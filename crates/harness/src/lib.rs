@@ -12,7 +12,15 @@
 //!   run across the whole suite (`repro --check`).
 //!
 //! The `repro` binary prints them: `cargo run --release -p harness -- --all`.
+//!
+//! Sweep-shaped experiments fan out over the parallel engine in the
+//! `exec` crate (`--jobs N`, default: available parallelism) and share
+//! the memoized suite builds in [`cache`], so `repro --all` builds each
+//! module once instead of once per table. Results are collected by work
+//! item index, never by completion order: any `--jobs` value produces
+//! byte-identical output to `--jobs 1`.
 
+pub mod cache;
 pub mod csv;
 pub mod experiments;
 pub mod extensions;
@@ -20,13 +28,14 @@ pub mod pipeline;
 pub mod report;
 
 pub use extensions::{
-    ccm_sweep, design_ablation, multitask_study, render_design, render_multitask, render_sched,
-    render_sweep, scheduling_study, DesignRow, MultitaskRow, SchedRow, SweepPoint,
+    ccm_sweep, ccm_sweep_jobs, design_ablation, multitask_study, render_design, render_multitask,
+    render_sched, render_sweep, scheduling_study, DesignRow, MultitaskRow, SchedRow, SweepPoint,
 };
 
 pub use csv::export_all;
 pub use experiments::{
-    ablation, check_suite, figure, speedup_rows, table1, table3, table4_from, AblationRow,
-    CheckRow, CompactionRow, ProgramRow, SpeedupRow, Table4Cell,
+    ablation, ablation_jobs, check_suite, check_suite_jobs, figure, figure_jobs, improved_names,
+    speedup_rows, speedup_rows_jobs, speedup_rows_multi, table1, table1_jobs, table3, table3_jobs,
+    table4_from, AblationRow, CheckRow, CompactionRow, ProgramRow, SpeedupRow, Table4Cell,
 };
 pub use pipeline::{allocate_variant, check_allocated, measure, Measurement, Variant};

@@ -1,14 +1,110 @@
 //! `repro`: prints the paper's tables and figures from live runs.
+//!
+//! Flags select experiments (`--all` runs every experiment); `--jobs N`
+//! sets the parallel engine's worker count (default: available
+//! parallelism). Each stage prints a wall-clock timing line to stderr.
+//! Unknown flags are an error: a misspelled `--tabel2` exits 2 with the
+//! usage string instead of silently doing nothing.
 
 use harness::report;
 
+const USAGE: &str = "usage: repro [--table1] [--table2] [--table3] [--table4] \
+     [--figure3] [--figure4] [--ablation] [--sweep] [--design] [--sched] [--multitask] \
+     [--check[=json]] [--csv [DIR]] [--jobs N] [--all]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: repro [--table1] [--table2] [--table3] [--table4] \
-         [--figure3] [--figure4] [--ablation] [--sweep] [--design] [--sched] [--multitask] \
-         [--check[=json]] [--csv DIR] [--all]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2)
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    usage()
+}
+
+#[derive(Default)]
+struct Opts {
+    table1: bool,
+    table2: bool,
+    table3: bool,
+    table4: bool,
+    figure3: bool,
+    figure4: bool,
+    ablation: bool,
+    sweep: bool,
+    design: bool,
+    sched: bool,
+    multitask: bool,
+    check: bool,
+    check_json: bool,
+    csv: Option<std::path::PathBuf>,
+}
+
+fn parse(args: &[String]) -> Opts {
+    let mut o = Opts::default();
+    let mut all = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--table1" => o.table1 = true,
+            "--table2" => o.table2 = true,
+            "--table3" => o.table3 = true,
+            "--table4" => o.table4 = true,
+            "--figure3" => o.figure3 = true,
+            "--figure4" => o.figure4 = true,
+            "--ablation" => o.ablation = true,
+            "--sweep" => o.sweep = true,
+            "--design" => o.design = true,
+            "--sched" => o.sched = true,
+            "--multitask" => o.multitask = true,
+            "--check" => o.check = true,
+            "--check=json" => {
+                o.check = true;
+                o.check_json = true;
+            }
+            "--csv" => {
+                // Optional directory operand; defaults to `results`.
+                let dir = match args.get(i + 1) {
+                    Some(d) if !d.starts_with('-') => {
+                        i += 1;
+                        d.clone()
+                    }
+                    _ => "results".to_string(),
+                };
+                o.csv = Some(std::path::PathBuf::from(dir));
+            }
+            "--jobs" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--jobs needs a count"));
+                match exec::parse_jobs(v) {
+                    Ok(n) => exec::set_default_jobs(n),
+                    Err(e) => die(&e),
+                }
+            }
+            "--all" => all = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if all {
+        o.table1 = true;
+        o.table2 = true;
+        o.table3 = true;
+        o.table4 = true;
+        o.figure3 = true;
+        o.figure4 = true;
+        o.ablation = true;
+        o.sweep = true;
+        o.design = true;
+        o.sched = true;
+        o.multitask = true;
+        o.check = true;
+    }
+    o
 }
 
 fn main() {
@@ -16,49 +112,57 @@ fn main() {
     if args.is_empty() {
         usage();
     }
-    let want = |flag: &str| args.iter().any(|a| a == flag || a == "--all");
+    let o = parse(&args);
 
-    if want("--table1") {
-        println!("{}", report::render_table1(&harness::table1()));
+    if o.table1 {
+        let rows = exec::timed("repro", "table1", harness::table1);
+        println!("{}", report::render_table1(&rows));
     }
-    if want("--table2") {
-        let rows = harness::speedup_rows(512);
+    if o.table2 {
+        let rows = exec::timed("repro", "table2", || harness::speedup_rows(512));
         println!("{}", report::render_table2(&rows, 512));
     }
-    if want("--table3") || want("--table4") {
-        let (r512, r1024, improved) = harness::table3();
-        if want("--table3") {
+    if o.table3 || o.table4 {
+        let (r512, r1024, improved) = exec::timed("repro", "table3", harness::table3);
+        if o.table3 {
             println!("{}", report::render_table3(&r512, &r1024, &improved));
         }
-        if want("--table4") {
+        if o.table4 {
             println!("{}", report::render_table4(&r512, &r1024));
         }
     }
-    if want("--figure3") {
-        println!("{}", report::render_figure(&harness::figure(512), 512));
+    if o.figure3 {
+        let rows = exec::timed("repro", "figure3", || harness::figure(512));
+        println!("{}", report::render_figure(&rows, 512));
     }
-    if want("--figure4") {
-        println!("{}", report::render_figure(&harness::figure(1024), 1024));
+    if o.figure4 {
+        let rows = exec::timed("repro", "figure4", || harness::figure(1024));
+        println!("{}", report::render_figure(&rows, 1024));
     }
-    if want("--ablation") {
-        println!("{}", report::render_ablation(&harness::ablation()));
+    if o.ablation {
+        let rows = exec::timed("repro", "ablation", harness::ablation);
+        println!("{}", report::render_ablation(&rows));
     }
-    if want("--sweep") {
+    if o.sweep {
         let sizes = [64, 128, 256, 512, 1024, 2048, 4096];
-        println!("{}", harness::render_sweep(&harness::ccm_sweep(&sizes)));
+        let pts = exec::timed("repro", "sweep", || harness::ccm_sweep(&sizes));
+        println!("{}", harness::render_sweep(&pts));
     }
-    if want("--design") {
-        println!("{}", harness::render_design(&harness::design_ablation()));
+    if o.design {
+        let rows = exec::timed("repro", "design", harness::design_ablation);
+        println!("{}", harness::render_design(&rows));
     }
-    if want("--sched") {
-        println!("{}", harness::render_sched(&harness::scheduling_study()));
+    if o.sched {
+        let rows = exec::timed("repro", "sched", harness::scheduling_study);
+        println!("{}", harness::render_sched(&rows));
     }
-    if want("--multitask") {
-        println!("{}", harness::render_multitask(&harness::multitask_study()));
+    if o.multitask {
+        let rows = exec::timed("repro", "multitask", harness::multitask_study);
+        println!("{}", harness::render_multitask(&rows));
     }
-    if want("--check") || args.iter().any(|a| a == "--check=json") {
-        let rows = harness::check_suite(&[512, 1024]);
-        if args.iter().any(|a| a == "--check=json") {
+    if o.check {
+        let rows = exec::timed("repro", "check", || harness::check_suite(&[512, 1024]));
+        if o.check_json {
             print!("{}", report::render_check_json(&rows));
         } else {
             print!("{}", report::render_check_summary(&rows));
@@ -67,12 +171,8 @@ fn main() {
             std::process::exit(1);
         }
     }
-    if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        let dir = args
-            .get(pos + 1)
-            .map(std::path::PathBuf::from)
-            .unwrap_or_else(|| std::path::PathBuf::from("results"));
-        match harness::export_all(&dir) {
+    if let Some(dir) = o.csv {
+        match exec::timed("repro", "csv", || harness::export_all(&dir)) {
             Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),
             Err(e) => {
                 eprintln!("csv export failed: {e}");

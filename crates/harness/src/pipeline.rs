@@ -6,7 +6,7 @@ use sim::{MachineConfig, Metrics};
 
 /// The allocation strategy under test — the three CCM methods of the
 /// paper plus the no-CCM baseline.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Variant {
     /// Conventional Chaitin-Briggs; all spills to main memory.
     Baseline,
