@@ -22,4 +22,18 @@ echo "== release smoke: repro --table1 --check --jobs 2"
 # argument parser, all under a small worker count.
 cargo run --release -q -p harness --bin repro -- --table1 --check --jobs 2 > /dev/null
 
+echo "== fuzz smoke: repro --fuzz 64 --seed 1 --jobs 2"
+# Fixed-seed differential fuzzing campaign: every generated module must
+# produce bit-identical checksums under all allocation variants, pass
+# the post-allocation checker, and never run slower than baseline. The
+# fixed seed keeps CI deterministic; exit 1 means a minimized
+# reproducer was printed — file it under tests/corpus/.
+cargo run --release -q -p harness --bin repro -- --fuzz 64 --seed 1 --jobs 2
+
+echo "== corpus replay"
+# Re-run every archived fuzzer finding through the full oracle (the
+# same test runs in debug mode under `cargo test` above; this one uses
+# the release-built deps for speed and as a second optimization level).
+cargo test -q --release --test corpus_replay > /dev/null
+
 echo "CI green."

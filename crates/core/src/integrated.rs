@@ -8,8 +8,10 @@
 //!
 //! * an edge `(v, m)` is in the interference graph (a previous round's
 //!   occupant of `m` is live where `v` is), or
-//! * a value `p` with an edge `(v, p)` was already spilled to `m` in the
-//!   current round (the paper's footnote-5 side structure).
+//! * a value `p` with an edge `(v, p)` — or copy-related to `v` with
+//!   overlapping live ranges, which the copy exemption hides from the
+//!   edge set — was already spilled to `m` in the current round (the
+//!   paper's footnote-5 side structure).
 //!
 //! Values live across calls keep the conservative intraprocedural
 //! convention and go to main memory, so CCM contents can never be
@@ -91,11 +93,13 @@ impl SpillPlacer for CcmPlacer {
         for off in graph.ccm_neighbors(v_id) {
             forbidden.push((off, size.max(graph.entities.class().value_size())));
         }
-        // 2. Same-round placements of values interfering with v.
+        // 2. Same-round placements of values conflicting with v. Note
+        //    `slot_conflict`, not `interferes`: copy-related values can
+        //    share a register but not a spill slot.
         for (p, off, psize) in &self.round {
             let p_id = graph.entities.get(Entity::Reg(*p));
             let conflict = match p_id {
-                Some(pid) => graph.interferes(v_id, pid),
+                Some(pid) => graph.slot_conflict(v_id, pid),
                 None => true, // unknown: be safe
             };
             if conflict {

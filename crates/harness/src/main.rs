@@ -10,7 +10,7 @@ use harness::report;
 
 const USAGE: &str = "usage: repro [--table1] [--table2] [--table3] [--table4] \
      [--figure3] [--figure4] [--ablation] [--sweep] [--design] [--sched] [--multitask] \
-     [--check[=json]] [--csv [DIR]] [--jobs N] [--all]";
+     [--check[=json]] [--csv [DIR]] [--fuzz N [--seed S]] [--jobs N] [--all]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -38,6 +38,8 @@ struct Opts {
     check: bool,
     check_json: bool,
     csv: Option<std::path::PathBuf>,
+    fuzz: Option<usize>,
+    fuzz_seed: u64,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -73,6 +75,24 @@ fn parse(args: &[String]) -> Opts {
                 };
                 o.csv = Some(std::path::PathBuf::from(dir));
             }
+            "--fuzz" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--fuzz needs a case count"));
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => o.fuzz = Some(n),
+                    _ => die(&format!("invalid --fuzz count `{v}`")),
+                }
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| die("--seed needs a value"));
+                match v.parse::<u64>() {
+                    Ok(s) => o.fuzz_seed = s,
+                    Err(_) => die(&format!("invalid --seed `{v}`")),
+                }
+            }
             "--jobs" => {
                 i += 1;
                 let v = args.get(i).unwrap_or_else(|| die("--jobs needs a count"));
@@ -89,6 +109,9 @@ fn parse(args: &[String]) -> Opts {
             other => die(&format!("unknown argument `{other}`")),
         }
         i += 1;
+    }
+    if o.fuzz.is_none() && o.fuzz_seed != 0 {
+        die("--seed only applies to --fuzz");
     }
     if all {
         o.table1 = true;
@@ -168,6 +191,21 @@ fn main() {
             print!("{}", report::render_check_summary(&rows));
         }
         if rows.iter().any(|r| r.error_count() > 0) {
+            std::process::exit(1);
+        }
+    }
+    if let Some(n) = o.fuzz {
+        let seed = o.fuzz_seed;
+        let rep = exec::timed("repro", "fuzz", || {
+            fuzz::campaign_report(
+                n,
+                seed,
+                exec::default_jobs(),
+                &fuzz::OracleConfig::default(),
+            )
+        });
+        print!("{}", rep.text);
+        if rep.failures > 0 {
             std::process::exit(1);
         }
     }

@@ -328,11 +328,75 @@ impl Function {
         }
         removed
     }
+
+    /// Deletes every block not reachable from the entry, compacting block
+    /// ids and retargeting the surviving terminators. Returns the number
+    /// of blocks removed.
+    ///
+    /// Simplification passes (and the fuzzer's minimizer) turn `cbr`s into
+    /// `jump`s; this sweeps out the half of the CFG those edits orphan.
+    pub fn prune_unreachable(&mut self) -> usize {
+        let n = self.blocks.len();
+        let mut reachable = vec![false; n];
+        let mut stack = vec![self.entry()];
+        reachable[self.entry().index()] = true;
+        while let Some(b) = stack.pop() {
+            for s in self.successors(b) {
+                if !reachable[s.index()] {
+                    reachable[s.index()] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        if reachable.iter().all(|&r| r) {
+            return 0;
+        }
+        // Old id -> new id for survivors, in layout order (entry stays 0).
+        let mut remap = vec![BlockId(0); n];
+        let mut next = 0u32;
+        for (i, r) in reachable.iter().enumerate() {
+            if *r {
+                remap[i] = BlockId(next);
+                next += 1;
+            }
+        }
+        let mut keep = reachable.iter().copied();
+        self.blocks.retain(|_| keep.next().unwrap());
+        for b in &mut self.blocks {
+            if let Some(t) = b.terminator_mut() {
+                t.map_successors(|s| remap[s.index()]);
+            }
+        }
+        n - next as usize
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prune_unreachable_compacts_and_retargets() {
+        let mut f = Function::new("t");
+        let dead = f.add_block("dead");
+        let live = f.add_block("live");
+        let r = f.new_vreg(RegClass::Gpr);
+        f.block_mut(f.entry())
+            .instrs
+            .push(Instr::new(Op::Jump { target: live }));
+        f.block_mut(dead)
+            .instrs
+            .push(Instr::new(Op::Jump { target: live }));
+        f.block_mut(live)
+            .instrs
+            .push(Instr::new(Op::Ret { vals: vec![r] }));
+        assert_eq!(f.prune_unreachable(), 1);
+        assert_eq!(f.blocks.len(), 2);
+        // The surviving jump must now target the compacted id of "live".
+        assert_eq!(f.successors(f.entry()), vec![BlockId(1)]);
+        assert_eq!(f.block(BlockId(1)).label, "live");
+        assert_eq!(f.prune_unreachable(), 0, "second prune is a no-op");
+    }
 
     #[test]
     fn fresh_vregs_are_distinct_per_class() {

@@ -41,6 +41,20 @@ impl Lcg {
         assert!(bound > 0);
         (self.next_u64() % bound as u64) as u32
     }
+
+    /// True with probability `percent / 100`.
+    pub fn chance(&mut self, percent: u32) -> bool {
+        self.next_range(100) < percent
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.next_range(items.len() as u32) as usize]
+    }
 }
 
 /// A float-array global filled with seeded values in `[-1, 1)`.
@@ -168,6 +182,17 @@ mod tests {
         for _ in 0..1000 {
             let v = l.next_f64();
             assert!((-1.0..1.0).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn chance_and_pick_stay_in_bounds() {
+        let mut l = Lcg::new(11);
+        assert!(!l.clone().chance(0), "0% must never fire");
+        assert!(l.clone().chance(100), "100% must always fire");
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(l.pick(&items)));
         }
     }
 

@@ -343,6 +343,67 @@ fn inconsistent_spill_offset_is_caught() {
 }
 
 // ---------------------------------------------------------------------------
+// Mutations lifted from the differential fuzzer. These are the injected
+// bugs `fuzz::apply_mutation` uses to prove the oracle can catch a broken
+// allocator; here they run against deterministic fixtures to pin down
+// exactly which checks catch them.
+// ---------------------------------------------------------------------------
+
+/// A CCM restore pushed past the scratchpad's last byte — the fuzzer's
+/// `BumpCcmOffset` aimed at the top of the CCM. Unlike
+/// `ccm_offset_past_capacity_is_caught` (which relocates the whole slot
+/// consistently), only the restore instruction moves: both the bounds
+/// check and the slot/instruction consistency check must fire on it.
+#[test]
+fn out_of_bounds_ccm_restore_is_caught() {
+    let (mut m, alloc) = promoted_module();
+    let f = &mut m.functions[0];
+    let mut bumped = false;
+    'outer: for b in &mut f.blocks {
+        for i in &mut b.instrs {
+            if let Op::CcmLoad { off, .. } | Op::CcmFLoad { off, .. } = &mut i.op {
+                *off = 512; // one past the last CCM byte
+                bumped = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(bumped, "fixture has CCM restores");
+    let diags = check_module(&m, &cfg(alloc));
+    assert!(
+        !find(&diags, "ccm-bounds").is_empty(),
+        "{}",
+        render_text(&diags)
+    );
+    assert!(
+        !find(&diags, "slot-frame").is_empty(),
+        "{}",
+        render_text(&diags)
+    );
+}
+
+/// The fuzzer's `OverlapSlots` mutation on the interprocedural fixture:
+/// two CCM-resident slots of one function — spill traffic that stays hot
+/// across the call to `leaf` — are collapsed onto one offset, so a store
+/// to the second slot clobbers the first while it is still live.
+#[test]
+fn fuzz_overlap_mutation_clobbers_live_slot() {
+    let (mut m, alloc) = interproc_module();
+    assert!(
+        fuzz::apply_mutation(&mut m, fuzz::Mutation::OverlapSlots),
+        "fixture must carry two CCM slots in one function"
+    );
+    let diags = check_module(&m, &cfg(alloc));
+    let hits = find(&diags, "slot-overlap");
+    assert!(!hits.is_empty(), "{}", render_text(&diags));
+    assert!(
+        hits.iter().any(|d| d.message.contains("CCM")),
+        "{}",
+        render_text(&diags)
+    );
+}
+
+// ---------------------------------------------------------------------------
 // JSON output: validated with a minimal hand-written parser.
 // ---------------------------------------------------------------------------
 

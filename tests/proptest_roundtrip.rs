@@ -52,4 +52,17 @@ proptest! {
             .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
         prop_assert_eq!(&m, &parsed);
     }
+
+    /// The differential fuzzer's generator hits far more of the surface
+    /// than `arb_stmts` (irreducible CFGs, multi-function calls, CCM-load
+    /// negative-offset addressing, f64 globals): its modules must also
+    /// survive the printer/parser round trip exactly.
+    #[test]
+    fn fuzz_generated_module_round_trips(seed in any::<u64>()) {
+        let m = fuzz::gen_module(seed);
+        let text = m.to_string();
+        let parsed = iloc::parse_module(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&m, &parsed);
+    }
 }
