@@ -30,6 +30,21 @@ echo "== fuzz smoke: repro --fuzz 64 --seed 1 --jobs 2"
 # reproducer was printed — file it under tests/corpus/.
 cargo run --release -q -p harness --bin repro -- --fuzz 64 --seed 1 --jobs 2
 
+echo "== inject smoke: repro --inject-sweep --jobs 2"
+# Fault-injection sweep in release mode: arm each registered fault
+# point in turn and assert the pipeline survives with the expected
+# structured failure (degradation with identical output, contained
+# panics, detected-and-evicted cache corruption, ...). Exit 1 means a
+# failure path regressed.
+cargo run --release -q -p harness --bin repro -- --inject-sweep --jobs 2
+
+echo "== panic containment: fault_injection tests (release)"
+# Includes the fixed-seed exec containment test: a deterministic subset
+# of work items panics and the failure report must be byte-identical at
+# jobs=1, jobs=4, and jobs=9 (the same suite runs debug-mode under
+# `cargo test` above).
+cargo test -q --release --test fault_injection > /dev/null
+
 echo "== corpus replay"
 # Re-run every archived fuzzer finding through the full oracle (the
 # same test runs in debug mode under `cargo test` above; this one uses

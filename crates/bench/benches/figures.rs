@@ -25,13 +25,15 @@ fn figure(c: &mut Criterion, ccm_size: u32, label: &str) {
         b.iter(|| {
             let mut acc = 0.0;
             for (_, m) in &programs {
-                let base = measure(m.clone(), Variant::Baseline, &machine);
+                let base = measure(m.clone(), Variant::Baseline, &machine)
+                    .unwrap_or_else(|e| panic!("bench figure: {e}"));
                 for v in [
                     Variant::PostPass,
                     Variant::PostPassCallGraph,
                     Variant::Integrated,
                 ] {
-                    let r = measure(m.clone(), v, &machine);
+                    let r = measure(m.clone(), v, &machine)
+                        .unwrap_or_else(|e| panic!("bench figure: {e}"));
                     acc += r.cycles as f64 / base.cycles as f64;
                 }
             }
@@ -72,8 +74,10 @@ fn ablation(c: &mut Criterion) {
         };
         g.bench_function(name, |b| {
             b.iter(|| {
-                let base = measure(m.clone(), Variant::Baseline, &machine);
-                let ccm = measure(m.clone(), Variant::PostPassCallGraph, &machine);
+                let base = measure(m.clone(), Variant::Baseline, &machine)
+                    .unwrap_or_else(|e| panic!("bench ablation: {e}"));
+                let ccm = measure(m.clone(), Variant::PostPassCallGraph, &machine)
+                    .unwrap_or_else(|e| panic!("bench ablation: {e}"));
                 black_box(base.cycles as f64 / ccm.cycles as f64)
             })
         });

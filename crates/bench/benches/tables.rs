@@ -66,10 +66,17 @@ fn table4(c: &mut Criterion) {
             for name in BENCH_KERNELS {
                 let k = suite::kernel(name).expect("kernel");
                 let m = suite::build_optimized(&k);
-                let baseline = harness::measure(m.clone(), Variant::Baseline, &machine);
-                let postpass = harness::measure(m.clone(), Variant::PostPass, &machine);
-                let postpass_cg = harness::measure(m.clone(), Variant::PostPassCallGraph, &machine);
-                let integrated = harness::measure(m, Variant::Integrated, &machine);
+                let must = |r: Result<harness::Measurement, harness::PipelineError>| {
+                    r.unwrap_or_else(|e| panic!("bench table4: {e}"))
+                };
+                let baseline = must(harness::measure(m.clone(), Variant::Baseline, &machine));
+                let postpass = must(harness::measure(m.clone(), Variant::PostPass, &machine));
+                let postpass_cg = must(harness::measure(
+                    m.clone(),
+                    Variant::PostPassCallGraph,
+                    &machine,
+                ));
+                let integrated = must(harness::measure(m, Variant::Integrated, &machine));
                 rows.push(harness::SpeedupRow {
                     name: name.to_string(),
                     baseline,

@@ -17,7 +17,8 @@ pub fn run_subset(variant: Variant, ccm_size: u32) -> u64 {
     for name in BENCH_KERNELS {
         let k = suite::kernel(name).expect("kernel exists");
         let m = suite::build_optimized(&k);
-        let r: Measurement = measure(m, variant, &machine);
+        let r: Measurement =
+            measure(m, variant, &machine).unwrap_or_else(|e| panic!("bench subset: {e}"));
         total += r.cycles;
     }
     total

@@ -98,6 +98,13 @@ impl CheckerConfig {
 /// pass order (structural, machine, slots, CCM).
 pub fn check_module(m: &Module, cfg: &CheckerConfig) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+    if inject::faultpoint!("checker.forced_error") {
+        diags.push(Diagnostic::error(
+            "injected",
+            m.functions.first().map(|f| f.name.as_str()).unwrap_or(""),
+            "injected checker error".to_string(),
+        ));
+    }
     if let Err(e) = m.verify() {
         diags.push(Diagnostic::error("structure", &e.function, e.message));
     }

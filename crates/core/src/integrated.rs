@@ -18,6 +18,7 @@
 //! clobbered by a callee. Offsets used by the *other* register class are
 //! never shared (the per-class interference graphs cannot see each other).
 
+use crate::Degradation;
 use iloc::{Function, Module, Reg, SpillSlot};
 use regalloc::{
     allocate_function_with, AllocConfig, AllocStats, Entity, InterferenceGraph, Placement,
@@ -149,30 +150,51 @@ impl SpillPlacer for CcmPlacer {
 }
 
 /// Runs the integrated allocator on one function: Chaitin-Briggs with CCM
-/// spilling built into spill-code insertion. Returns the allocator stats
-/// and the placer's CCM stats.
+/// spilling built into spill-code insertion. Returns the allocator stats,
+/// the placer's CCM stats, and — when CCM placement had to be abandoned
+/// for this function — a [`Degradation`] event describing the fallback.
+///
+/// Degradation reruns the allocation with a zero-sized CCM, so every
+/// spill becomes a conventional heavyweight spill for this function only;
+/// the rest of the module is unaffected.
 pub fn allocate_function_integrated(
     f: &mut Function,
     cfg: &AllocConfig,
     ccm_size: u32,
-) -> (AllocStats, IntegratedStats) {
+) -> (AllocStats, IntegratedStats, Option<Degradation>) {
+    if inject::faultpoint!("alloc.ccm_coloring") {
+        // The fault fires before any mutation, so a clean zero-CCM rerun
+        // models "coloring failed, fall back to heavyweight spills".
+        let mut placer = CcmPlacer::new(0);
+        let stats = allocate_function_with(f, cfg, &mut placer);
+        let d = Degradation {
+            function: f.name.clone(),
+            reason: "injected CCM coloring failure".to_string(),
+        };
+        return (stats, placer.stats, Some(d));
+    }
     let mut placer = CcmPlacer::new(ccm_size);
     let stats = allocate_function_with(f, cfg, &mut placer);
-    (stats, placer.stats)
+    (stats, placer.stats, None)
 }
 
 /// Runs the integrated allocator over every function. Each function gets
 /// a fresh placer; the intraprocedural convention (no call-crossing values
-/// in CCM) makes cross-function offset reuse safe.
+/// in CCM) makes cross-function offset reuse safe. The returned vector
+/// lists every function that degraded to heavyweight spilling.
 pub fn allocate_module_integrated(
     m: &mut Module,
     cfg: &AllocConfig,
     ccm_size: u32,
-) -> (AllocStats, IntegratedStats) {
+) -> (AllocStats, IntegratedStats, Vec<Degradation>) {
+    if inject::faultpoint!("alloc.panic") {
+        panic!("injected allocator panic (integrated)");
+    }
     let mut alloc_total = AllocStats::default();
     let mut ccm_total = IntegratedStats::default();
+    let mut degradations = Vec::new();
     for f in &mut m.functions {
-        let (a, c) = allocate_function_integrated(f, cfg, ccm_size);
+        let (a, c, d) = allocate_function_integrated(f, cfg, ccm_size);
         for i in 0..2 {
             alloc_total.spilled[i] += a.spilled[i];
             alloc_total.coalesced[i] += a.coalesced[i];
@@ -181,8 +203,9 @@ pub fn allocate_module_integrated(
         ccm_total.ccm_spills += c.ccm_spills;
         ccm_total.heavyweight_spills += c.heavyweight_spills;
         ccm_total.high_water = ccm_total.high_water.max(c.high_water);
+        degradations.extend(d);
     }
-    (alloc_total, ccm_total)
+    (alloc_total, ccm_total, degradations)
 }
 
 #[cfg(test)]
@@ -208,7 +231,7 @@ mod tests {
     #[test]
     fn integrated_spills_go_to_ccm() {
         let mut m = wide_module(14);
-        let (alloc, ccm) = allocate_module_integrated(&mut m, &AllocConfig::tiny(4), 512);
+        let (alloc, ccm, _) = allocate_module_integrated(&mut m, &AllocConfig::tiny(4), 512);
         assert!(alloc.total_spilled() > 0);
         assert_eq!(ccm.ccm_spills, alloc.total_spilled());
         assert_eq!(ccm.heavyweight_spills, 0);
@@ -244,7 +267,7 @@ mod tests {
         let mut a = wide_module(14);
         let mut b = a.clone();
         regalloc::allocate_module(&mut a, &AllocConfig::tiny(4));
-        let (_, ccm) = allocate_module_integrated(&mut b, &AllocConfig::tiny(4), 0);
+        let (_, ccm, _) = allocate_module_integrated(&mut b, &AllocConfig::tiny(4), 0);
         assert_eq!(ccm.ccm_spills, 0);
         assert!(ccm.heavyweight_spills > 0);
         let (va, ma) = sim::run_module(&a, sim::MachineConfig::default(), "main").unwrap();
@@ -274,7 +297,7 @@ mod tests {
         let mut m = Module::new();
         m.push_function(fb.finish());
         m.push_function(leaf.finish());
-        let (_, ccm) = allocate_module_integrated(&mut m, &AllocConfig::tiny(3), 512);
+        let (_, ccm, _) = allocate_module_integrated(&mut m, &AllocConfig::tiny(3), 512);
         assert!(
             ccm.heavyweight_spills > 0,
             "call-crossing spills must go to main memory"
@@ -286,7 +309,7 @@ mod tests {
     #[test]
     fn tiny_ccm_mixes_ccm_and_heavyweight() {
         let mut m = wide_module(40);
-        let (_, ccm) = allocate_module_integrated(&mut m, &AllocConfig::tiny(3), 8);
+        let (_, ccm, _) = allocate_module_integrated(&mut m, &AllocConfig::tiny(3), 8);
         assert!(ccm.ccm_spills > 0);
         assert!(ccm.heavyweight_spills > 0);
         assert!(ccm.high_water <= 8);

@@ -48,6 +48,30 @@ pub mod integrated;
 pub mod postpass;
 pub mod slots;
 
+/// One function's graceful fallback from CCM allocation to plain
+/// heavyweight spilling (the paper's own §3.1 escape hatch: anything
+/// that cannot live in the CCM spills to main memory). A degradation is
+/// an *event*, not an error — the function's code is correct, merely
+/// slower — so callers record it in their measurements instead of
+/// aborting.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Degradation {
+    /// The function that fell back to heavyweight spills.
+    pub function: String,
+    /// Why CCM allocation was abandoned for it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fn `{}` degraded to heavyweight spills: {}",
+            self.function, self.reason
+        )
+    }
+}
+
 pub use compact::{compact_module, compact_spill_memory, CompactStats};
 pub use integrated::{
     allocate_function_integrated, allocate_module_integrated, CcmPlacer, IntegratedStats,

@@ -46,11 +46,17 @@ pub struct FnPromotion {
     /// This routine's CCM high-water mark in bytes, *including* its
     /// callees' transitive usage.
     pub high_water: u32,
+    /// When `Some`, CCM coloring was abandoned for this function and
+    /// every slot stayed heavyweight; the string says why.
+    pub degraded: Option<String>,
 }
 
 /// Runs the post-pass CCM allocator over the whole module. Code must
 /// already be register-allocated (spill instructions tagged).
 pub fn postpass_promote(m: &mut Module, cfg: &PostpassConfig) -> Vec<FnPromotion> {
+    if inject::faultpoint!("alloc.panic") {
+        panic!("injected allocator panic (postpass)");
+    }
     let cg = CallGraph::build(m);
     let recursive: Vec<usize> = cg.recursive_functions();
     let mut high_water: Vec<u32> = vec![0; m.functions.len()];
@@ -112,10 +118,6 @@ fn promote_function(
     callee_high_water: impl Fn(&str) -> u32,
 ) -> FnPromotion {
     let analysis = SlotAnalysis::compute(f);
-    let mut placements: Vec<Option<(u32, u32)>> = vec![None; analysis.n];
-    let mut promoted = 0;
-    let mut heavyweight = 0;
-    let mut high_water = 0u32;
 
     // Per-slot base offset: the maximum high-water mark over the call
     // sites the slot is live across ("the 'beginning' of this search space
@@ -129,39 +131,27 @@ fn promote_function(
         }
     }
 
-    for slot_id in analysis.by_descending_cost() {
-        let si = slot_id.index();
-        let slot = *f.frame.slot(slot_id);
-        if slot.in_ccm || analysis.refs[si] == 0 {
-            continue;
+    let colored = color_function_slots(f, cfg, &analysis, &base);
+    let (placements, promoted, heavyweight, high_water) = match colored {
+        Ok(c) => c,
+        Err(reason) => {
+            // Graceful degradation: abandon CCM allocation for this
+            // function only. Nothing has been rewritten yet, so the
+            // conventional heavyweight spills stay exactly as the
+            // register allocator produced them — the paper's §3.1
+            // fallback, applied wholesale.
+            let heavyweight = (0..analysis.n)
+                .filter(|&si| !f.frame.slot(SlotId(si as u32)).in_ccm && analysis.refs[si] > 0)
+                .count();
+            return FnPromotion {
+                name: f.name.clone(),
+                promoted: 0,
+                heavyweight,
+                high_water: 0,
+                degraded: Some(reason),
+            };
         }
-        let size = slot.size();
-        // Successive-location search from the slot's base.
-        let mut off = align_up(base[si], size);
-        let found = loop {
-            if off + size > cfg.ccm_size {
-                break None;
-            }
-            let candidate = (off, size);
-            let clash = analysis.adj[si].iter().any(|&other| {
-                placements[other]
-                    .map(|p| overlaps(candidate, p))
-                    .unwrap_or(false)
-            });
-            if !clash {
-                break Some(off);
-            }
-            off = align_up(off + 1, size);
-        };
-        match found {
-            Some(ccm_off) => {
-                placements[si] = Some((ccm_off, size));
-                promoted += 1;
-                high_water = high_water.max(ccm_off + size);
-            }
-            None => heavyweight += 1,
-        }
-    }
+    };
 
     // Rewrite the promoted slots and their spill instructions.
     for (si, p) in placements.iter().enumerate() {
@@ -212,7 +202,70 @@ fn promote_function(
         promoted,
         heavyweight,
         high_water,
+        degraded: None,
     }
+}
+
+/// Colors one function's promotable slots into CCM offsets via the
+/// paper's successive-location search. Returns per-slot placements plus
+/// (promoted, heavyweight, high-water) counts, or a reason when coloring
+/// must be abandoned for this function — an injected failure, or a
+/// placement that breaches the CCM capacity invariant.
+#[allow(clippy::type_complexity)]
+fn color_function_slots(
+    f: &Function,
+    cfg: &PostpassConfig,
+    analysis: &SlotAnalysis,
+    base: &[u32],
+) -> Result<(Vec<Option<(u32, u32)>>, usize, usize, u32), String> {
+    if inject::faultpoint!("alloc.ccm_coloring") {
+        return Err("injected CCM coloring failure".to_string());
+    }
+    let mut placements: Vec<Option<(u32, u32)>> = vec![None; analysis.n];
+    let mut promoted = 0;
+    let mut heavyweight = 0;
+    let mut high_water = 0u32;
+
+    for slot_id in analysis.by_descending_cost() {
+        let si = slot_id.index();
+        let slot = *f.frame.slot(slot_id);
+        if slot.in_ccm || analysis.refs[si] == 0 {
+            continue;
+        }
+        let size = slot.size();
+        // Successive-location search from the slot's base.
+        let mut off = align_up(base[si], size);
+        let found = loop {
+            if off + size > cfg.ccm_size {
+                break None;
+            }
+            let candidate = (off, size);
+            let clash = analysis.adj[si].iter().any(|&other| {
+                placements[other]
+                    .map(|p| overlaps(candidate, p))
+                    .unwrap_or(false)
+            });
+            if !clash {
+                break Some(off);
+            }
+            off = align_up(off + 1, size);
+        };
+        match found {
+            Some(ccm_off) => {
+                placements[si] = Some((ccm_off, size));
+                promoted += 1;
+                high_water = high_water.max(ccm_off + size);
+            }
+            None => heavyweight += 1,
+        }
+    }
+    if high_water > cfg.ccm_size {
+        return Err(format!(
+            "coloring exceeded CCM capacity: high water {high_water} > {}",
+            cfg.ccm_size
+        ));
+    }
+    Ok((placements, promoted, heavyweight, high_water))
 }
 
 fn align_up(x: u32, align: u32) -> u32 {

@@ -11,15 +11,19 @@
 //! 1. **Determinism**: results are collected *by item index*, never by
 //!    completion order, so `par_map(n, ..)` is byte-identical to
 //!    `par_map(1, ..)` for any pure `f`.
-//! 2. **Panic propagation**: a panicking worker does not hang or abort
-//!    the process; the panic is re-raised on the caller with the item's
-//!    label (kernel/variant/CCM size) prepended.
+//! 2. **Panic containment**: a panicking item poisons only its own
+//!    result slot — [`par_map_contained`] returns it as a structured
+//!    [`ItemFailure`] carrying the item's label and the captured
+//!    payload, and every other item still runs. The serial path
+//!    contains panics identically, so failure reports are byte-equal
+//!    at any job count. ([`par_map`] keeps the legacy all-or-nothing
+//!    behavior: it re-raises the first failure with its label.)
 //! 3. **No oversubscription surprises**: `jobs` is clamped to the item
 //!    count, and `jobs <= 1` runs inline with no threads at all.
 
 mod queue;
 
-pub use queue::WorkerPanic;
+pub use queue::{render_payload, ItemPanic};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -63,11 +67,58 @@ pub fn parse_jobs(s: &str) -> Result<usize, String> {
     }
 }
 
+/// One contained work-item failure: the item's index, its human-readable
+/// label (kernel/variant/CCM size), and the captured panic payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemFailure {
+    /// Index of the failed item in the input slice.
+    pub index: usize,
+    /// The caller-supplied label for the item.
+    pub label: String,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for ItemFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: worker panic: {}", self.label, self.message)
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped worker threads with the
+/// containment policy: a panicking item becomes `Err(ItemFailure)` in
+/// its own result slot and every other item still runs. Results are in
+/// item order and independent of `jobs`, including which slots failed.
+pub fn par_map_contained<I, T, F, L>(
+    jobs: usize,
+    items: &[I],
+    label: L,
+    f: F,
+) -> Vec<Result<T, ItemFailure>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+    L: Fn(&I) -> String + Sync,
+{
+    queue::run(jobs, items.len(), |i| f(&items[i]))
+        .into_iter()
+        .map(|r| {
+            r.map_err(|p| ItemFailure {
+                label: label(&items[p.index]),
+                index: p.index,
+                message: p.message,
+            })
+        })
+        .collect()
+}
+
 /// Maps `f` over `items` on up to `jobs` scoped worker threads, returning
 /// results in item order. `label` names an item for diagnostics; when a
 /// worker panics, the panic is re-raised here as
 /// `"<label>: <original message>"` so the failing kernel/variant is
-/// visible even from a release binary.
+/// visible even from a release binary. Callers that must survive item
+/// failures use [`par_map_contained`] instead.
 ///
 /// # Panics
 ///
@@ -80,10 +131,14 @@ where
     F: Fn(&I) -> T + Sync,
     L: Fn(&I) -> String + Sync,
 {
-    match queue::run(jobs, items.len(), |i| f(&items[i])) {
-        Ok(out) => out,
-        Err(p) => panic!("{}: {}", label(&items[p.index]), p.message()),
+    let mut out = Vec::with_capacity(items.len());
+    for r in par_map_contained(jobs, items, label, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => panic!("{}: {}", e.label, e.message),
+        }
     }
+    out
 }
 
 /// [`par_map`] with the process-wide [`default_jobs`] worker count.
@@ -168,6 +223,31 @@ mod tests {
             msg.contains("fpppp/integrated/1024") && msg.contains("checksum mismatch"),
             "bad panic message: {msg}"
         );
+    }
+
+    #[test]
+    fn contained_failures_keep_healthy_results_and_labels() {
+        let items: Vec<u64> = (0..20).collect();
+        let work = |&i: &u64| {
+            if i % 5 == 2 {
+                panic!("injected at {i}");
+            }
+            i * 2
+        };
+        let serial = par_map_contained(1, &items, |i| format!("item {i}"), work);
+        for jobs in [2, 4] {
+            let par = par_map_contained(jobs, &items, |i| format!("item {i}"), work);
+            assert_eq!(par, serial, "jobs={jobs} failure report diverged");
+        }
+        for (i, r) in serial.iter().enumerate() {
+            if i % 5 == 2 {
+                let e = r.as_ref().unwrap_err();
+                assert_eq!(e.label, format!("item {i}"));
+                assert!(e.to_string().contains(&format!("injected at {i}")));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), (i as u64) * 2);
+            }
+        }
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub struct MinimizedFailure {
 /// result is independent of `jobs`.
 pub fn campaign(n: usize, seed: u64, jobs: usize, cfg: &OracleConfig) -> Vec<CaseResult> {
     let indices: Vec<usize> = (0..n).collect();
-    exec::par_map(
+    exec::par_map_contained(
         jobs,
         &indices,
         |i| format!("fuzz case {i} (seed {:#x})", case_seed(seed, *i)),
@@ -96,6 +96,28 @@ pub fn campaign(n: usize, seed: u64, jobs: usize, cfg: &OracleConfig) -> Vec<Cas
             }
         },
     )
+    .into_iter()
+    .enumerate()
+    .map(|(i, r)| {
+        // Containment: a panic outside the oracle's own catch (generator
+        // or minimizer bug, or an injected worker panic) poisons only
+        // its case. The campaign keeps running and the case is reported
+        // with the captured payload.
+        r.unwrap_or_else(|e| CaseResult {
+            index: i,
+            seed: case_seed(seed, i),
+            outcome: Err(Box::new(MinimizedFailure {
+                failure: Failure {
+                    kind: FailureKind::Panicked,
+                    variant: Variant::Baseline,
+                    ccm: 0,
+                    detail: format!("worker panic: {}", e.message),
+                },
+                module: Module::new(),
+            })),
+        })
+    })
+    .collect()
 }
 
 /// A rendered campaign: the text for stdout plus the failure count.

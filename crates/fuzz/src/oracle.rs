@@ -94,7 +94,7 @@ pub fn allocate(m: &mut Module, variant: Variant, ccm_size: u32, cfg: &AllocConf
             n
         }
         Variant::Integrated => {
-            let (a, _) = ccm::allocate_module_integrated(m, cfg, ccm_size);
+            let (a, _, _) = ccm::allocate_module_integrated(m, cfg, ccm_size);
             a.total_spilled()
         }
     }

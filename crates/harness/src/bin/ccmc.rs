@@ -1,3 +1,4 @@
+#![warn(clippy::unwrap_used)]
 //! `ccmc` — a command-line driver for the CCM compiler pipeline.
 //!
 //! Reads a textual ILOC module, optimizes it, allocates registers with a
@@ -135,11 +136,17 @@ fn main() {
         );
     });
     let mut spilled = 0;
+    let mut degraded: Vec<ccm::Degradation> = Vec::new();
     staged("allocate", &mut || {
-        spilled = allocate_variant(&mut m, o.variant, o.ccm_size);
+        let outcome = allocate_variant(&mut m, o.variant, o.ccm_size);
+        spilled = outcome.spilled_ranges;
+        degraded = outcome.degraded;
         m.verify()
             .unwrap_or_else(|e| die(&format!("post-allocation verify: {e}")));
     });
+    for d in &degraded {
+        eprintln!("ccmc: warning: {d}");
+    }
 
     if let Some(format) = o.check {
         let s = exec::Stage::start("check");

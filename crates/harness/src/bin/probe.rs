@@ -1,3 +1,4 @@
+#![warn(clippy::unwrap_used)]
 //! `probe` — per-kernel allocation pressure and checker diagnostics.
 //!
 //! For every suite kernel: spill counts and register pressure under the
@@ -39,12 +40,16 @@ fn main() {
     const CCM: u32 = 512;
     let kernels = suite::kernels();
     let stage = exec::Stage::start("probe");
-    let reports = exec::par_map_default(
+    let reports = exec::par_map_contained(
+        exec::default_jobs(),
         &kernels,
         |k| format!("probe {}", k.name),
         |k| {
             use std::fmt::Write as _;
-            let m = (*harness::cache::optimized(k)).clone();
+            let m = match harness::cache::optimized(k) {
+                Ok(m) => (*m).clone(),
+                Err(e) => return format!("{:<10} FAILED: {e}\n", k.name),
+            };
             let mut am = m.clone();
             let stats = regalloc::allocate_module(&mut am, &regalloc::AllocConfig::default());
             let bytes: u32 = am.functions.iter().map(|f| f.frame.spill_bytes()).sum();
@@ -83,10 +88,20 @@ fn main() {
             out
         },
     );
+    let mut failures = 0usize;
     for r in reports {
-        print!("{r}");
+        match r {
+            Ok(s) => print!("{s}"),
+            Err(e) => {
+                failures += 1;
+                eprintln!("probe: {e}");
+            }
+        }
     }
     eprintln!("probe: {}", stage.line());
+    if failures > 0 {
+        std::process::exit(1);
+    }
 }
 
 fn set_jobs(v: &str) {

@@ -17,6 +17,14 @@
 //!   subset of Table 3's, and the sweep/multitask studies revisit the
 //!   same CCM sizes.
 //!
+//! Failure is structured end to end: build panics become `stage=opt`
+//! errors, allocation panics `stage=alloc`, checker rejections
+//! `stage=checker`, simulator traps `stage=sim` — and every cached
+//! measurement is **sealed** with a digest at insert time, so a
+//! corrupted entry (bit rot, or the `cache.corrupt_measurement` fault
+//! point) is detected on its next hit as a `stage=cache` error and
+//! evicted instead of silently poisoning a table.
+//!
 //! Expensive work happens outside the map locks — two workers racing on
 //! the same key may both compute it (identical results, first insert
 //! wins), but workers never serialize on each other's computation. That
@@ -25,13 +33,21 @@
 //! would.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use iloc::Module;
 use sim::MachineConfig;
 use suite::{Kernel, Program};
 
+use crate::error::{PipelineError, Stage};
 use crate::pipeline::{self, Measurement, Variant};
+
+/// Locks a cache map, recovering from poisoning: a panic caught by the
+/// containment layer must not wedge every later measurement.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
 
 type Map = Mutex<HashMap<&'static str, Arc<Module>>>;
 
@@ -45,23 +61,42 @@ fn program_cache() -> &'static Map {
     CACHE.get_or_init(Map::default)
 }
 
-fn memoized(map: &'static Map, name: &'static str, build: impl FnOnce() -> Module) -> Arc<Module> {
-    if let Some(m) = map.lock().unwrap().get(name) {
-        return Arc::clone(m);
+fn memoized(
+    map: &'static Map,
+    name: &'static str,
+    build: impl FnOnce() -> Module,
+) -> Result<Arc<Module>, PipelineError> {
+    if let Some(m) = lock(map).get(name) {
+        return Ok(Arc::clone(m));
     }
-    let built = Arc::new(build());
-    let mut map = map.lock().unwrap();
-    Arc::clone(map.entry(name).or_insert(built))
+    // Build panics (a generator or optimizer bug) become structured
+    // `stage=opt` failures; nothing is cached, so a later retry
+    // recomputes rather than replaying a stale error.
+    let built = catch_unwind(AssertUnwindSafe(build))
+        .map_err(|p| PipelineError::new(Stage::Opt, name, exec::render_payload(p.as_ref())))?;
+    let built = Arc::new(built);
+    let mut map = lock(map);
+    Ok(Arc::clone(map.entry(name).or_insert(built)))
 }
 
 /// [`suite::build_optimized`], memoized per kernel name.
-pub fn optimized(k: &Kernel) -> Arc<Module> {
-    memoized(kernel_cache(), k.name, || suite::build_optimized(k))
+///
+/// # Errors
+///
+/// A build/optimize panic is contained as a `stage=opt` error.
+pub fn optimized(k: &Kernel) -> Result<Arc<Module>, PipelineError> {
+    let k = k.clone();
+    memoized(kernel_cache(), k.name, move || suite::build_optimized(&k))
 }
 
 /// [`suite::build_program`], memoized per program name.
-pub fn program(p: &Program) -> Arc<Module> {
-    memoized(program_cache(), p.name, || suite::build_program(p))
+///
+/// # Errors
+///
+/// A build/optimize panic is contained as a `stage=opt` error.
+pub fn program(p: &Program) -> Result<Arc<Module>, PipelineError> {
+    let p = p.clone();
+    memoized(program_cache(), p.name, move || suite::build_program(&p))
 }
 
 /// One allocated-and-checked configuration of one suite unit.
@@ -73,6 +108,8 @@ pub struct Allocated {
     pub diags: Arc<Vec<checker::Diagnostic>>,
     /// Live ranges spilled during allocation.
     pub spilled_ranges: usize,
+    /// Per-function CCM→heavyweight degradation events.
+    pub degraded: Arc<Vec<ccm::Degradation>>,
 }
 
 type AllocKey = (String, Variant, u32);
@@ -87,29 +124,71 @@ fn alloc_cache() -> &'static AllocMap {
 /// post-allocation checker, memoized per (unit name, variant, CCM size).
 /// Kernel and program names are globally unique in the suite, so the flat
 /// name key cannot collide; `base` must be the cached build for `name`.
-pub fn allocated(name: &str, base: &Arc<Module>, variant: Variant, ccm_size: u32) -> Allocated {
+///
+/// Checker diagnostics are data here, not failure: `--check` reports
+/// error rows rather than skipping them. [`measure_unit`] applies the
+/// error gate before simulating.
+///
+/// # Errors
+///
+/// An allocation panic is contained as a `stage=alloc` error.
+pub fn allocated(
+    name: &str,
+    base: &Arc<Module>,
+    variant: Variant,
+    ccm_size: u32,
+) -> Result<Allocated, PipelineError> {
     let key = (name.to_string(), variant, ccm_size);
-    if let Some(a) = alloc_cache().lock().unwrap().get(&key) {
-        return a.clone();
+    if let Some(a) = lock(alloc_cache()).get(&key) {
+        return Ok(a.clone());
     }
     let mut m = (**base).clone();
-    let spilled_ranges = pipeline::allocate_variant(&mut m, variant, ccm_size);
+    let outcome = pipeline::allocate_contained(&mut m, name, variant, ccm_size)?;
     let diags = pipeline::check_allocated(&m, ccm_size);
     let built = Allocated {
         module: Arc::new(m),
         diags: Arc::new(diags),
-        spilled_ranges,
+        spilled_ranges: outcome.spilled_ranges,
+        degraded: Arc::new(outcome.degraded),
     };
-    alloc_cache()
-        .lock()
-        .unwrap()
-        .entry(key)
-        .or_insert(built)
-        .clone()
+    Ok(lock(alloc_cache()).entry(key).or_insert(built).clone())
+}
+
+/// A cached measurement sealed with the digest computed at insert time.
+struct Sealed {
+    m: Measurement,
+    digest: u64,
+}
+
+/// FNV-1a over the measurement's observable fields. Detects any
+/// corruption of the numbers the tables are built from.
+fn digest(m: &Measurement) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(m.cycles);
+    mix(m.mem_cycles);
+    mix(m.metrics.instrs);
+    mix(m.metrics.ccm_ops);
+    mix(m.checksum.to_bits());
+    mix(u64::from(m.spill_bytes));
+    mix(m.spilled_ranges as u64);
+    mix(m.degraded.len() as u64);
+    for d in &m.degraded {
+        for b in d.function.bytes().chain(d.reason.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
 }
 
 type MeasKey = (String, Variant, String);
-type MeasMap = Mutex<HashMap<MeasKey, Measurement>>;
+type MeasMap = Mutex<HashMap<MeasKey, Sealed>>;
 
 fn meas_cache() -> &'static MeasMap {
     static CACHE: OnceLock<MeasMap> = OnceLock::new();
@@ -121,28 +200,40 @@ fn meas_cache() -> &'static MeasMap {
 /// `MachineConfig` debug rendering, so distinct cache models, latencies,
 /// or CCM sizes never share an entry.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Like [`pipeline::measure`]: on checker errors or a simulation trap.
+/// Structured per stage, like [`pipeline::measure`]; additionally a
+/// cached entry whose seal no longer matches its contents is evicted and
+/// reported as a `stage=cache` error (the next call recomputes it).
 pub fn measure_unit(
     name: &str,
     base: &Arc<Module>,
     variant: Variant,
     machine: &MachineConfig,
-) -> Measurement {
+) -> Result<Measurement, PipelineError> {
     let key = (name.to_string(), variant, format!("{machine:?}"));
-    if let Some(m) = meas_cache().lock().unwrap().get(&key) {
-        return m.clone();
+    {
+        let mut map = lock(meas_cache());
+        if let Some(sealed) = map.get(&key) {
+            if digest(&sealed.m) == sealed.digest {
+                return Ok(sealed.m.clone());
+            }
+            // Corrupt entry: evict so the next call recomputes, and
+            // surface the detection as a structured failure.
+            map.remove(&key);
+            return Err(PipelineError::new(
+                Stage::Cache,
+                name,
+                "corrupt cache entry: measurement digest mismatch (entry evicted)",
+            )
+            .at(variant, machine.ccm_size));
+        }
     }
-    let a = allocated(name, base, variant, machine.ccm_size);
-    if checker::has_errors(&a.diags) {
-        panic!(
-            "allocated module fails the post-allocation checker:\n{}",
-            checker::render_text(&a.diags)
-        );
-    }
-    let (vals, metrics) = sim::run_module(&a.module, machine.clone(), "main")
-        .unwrap_or_else(|e| panic!("simulation trapped: {e}"));
+    let a = allocated(name, base, variant, machine.ccm_size)?;
+    pipeline::checker_gate(&a.diags, name, variant, machine.ccm_size)?;
+    let (vals, metrics) = sim::run_module(&a.module, machine.clone(), "main").map_err(|e| {
+        PipelineError::new(Stage::Sim, name, e.to_string()).at(variant, machine.ccm_size)
+    })?;
     let spill_bytes = a
         .module
         .functions
@@ -156,13 +247,19 @@ pub fn measure_unit(
         checksum: vals.floats.first().copied().unwrap_or(f64::NAN),
         spill_bytes,
         spilled_ranges: a.spilled_ranges,
+        degraded: (*a.degraded).clone(),
     };
-    meas_cache()
-        .lock()
-        .unwrap()
-        .entry(key)
-        .or_insert(built)
-        .clone()
+    let mut sealed = Sealed {
+        digest: digest(&built),
+        m: built.clone(),
+    };
+    if inject::faultpoint!("cache.corrupt_measurement") {
+        // Flip the stored copy *after* sealing: the caller's value is
+        // clean, but the next hit must detect the mismatch.
+        sealed.m.cycles ^= 0xdead_beef;
+    }
+    lock(meas_cache()).entry(key).or_insert(sealed);
+    Ok(built)
 }
 
 #[cfg(test)]
@@ -172,8 +269,8 @@ mod tests {
     #[test]
     fn cache_returns_the_same_module_as_a_fresh_build() {
         let k = suite::kernel("radf5").unwrap();
-        let cached = optimized(&k);
-        let again = optimized(&k);
+        let cached = optimized(&k).unwrap();
+        let again = optimized(&k).unwrap();
         assert!(Arc::ptr_eq(&cached, &again), "second lookup must hit");
         let fresh = suite::build_optimized(&k);
         assert_eq!(format!("{fresh}"), format!("{cached}"));
@@ -182,11 +279,12 @@ mod tests {
     #[test]
     fn measure_unit_matches_uncached_measure() {
         let k = suite::kernel("radf5").unwrap();
-        let base = optimized(&k);
+        let base = optimized(&k).unwrap();
         let machine = MachineConfig::with_ccm(512);
-        let cached = measure_unit(k.name, &base, Variant::PostPassCallGraph, &machine);
-        let hit = measure_unit(k.name, &base, Variant::PostPassCallGraph, &machine);
-        let fresh = pipeline::measure((*base).clone(), Variant::PostPassCallGraph, &machine);
+        let cached = measure_unit(k.name, &base, Variant::PostPassCallGraph, &machine).unwrap();
+        let hit = measure_unit(k.name, &base, Variant::PostPassCallGraph, &machine).unwrap();
+        let fresh =
+            pipeline::measure((*base).clone(), Variant::PostPassCallGraph, &machine).unwrap();
         for m in [&cached, &hit] {
             assert_eq!(m.cycles, fresh.cycles);
             assert_eq!(m.mem_cycles, fresh.mem_cycles);
@@ -201,7 +299,37 @@ mod tests {
             &base,
             Variant::PostPassCallGraph,
             &MachineConfig::with_ccm(1024),
-        );
+        )
+        .unwrap();
         assert!(wider.cycles <= cached.cycles, "bigger CCM can't be slower");
+    }
+
+    #[test]
+    fn corrupted_entry_is_detected_evicted_and_recomputed() {
+        let k = suite::kernel("radf5").unwrap();
+        let base = optimized(&k).unwrap();
+        // A machine nobody else measures, so this test owns the entry.
+        let machine = MachineConfig {
+            max_steps: 1_999_999_873,
+            ..MachineConfig::with_ccm(512)
+        };
+        let clean = measure_unit(k.name, &base, Variant::PostPass, &machine).unwrap();
+        // Corrupt the sealed entry behind the cache's back.
+        let key = (
+            k.name.to_string(),
+            Variant::PostPass,
+            format!("{machine:?}"),
+        );
+        lock(meas_cache())
+            .get_mut(&key)
+            .expect("entry present")
+            .m
+            .cycles ^= 1;
+        let err = measure_unit(k.name, &base, Variant::PostPass, &machine).unwrap_err();
+        assert_eq!(err.stage, Stage::Cache);
+        assert!(err.detail.contains("corrupt"), "{err}");
+        // Eviction means the next call recomputes the clean value.
+        let again = measure_unit(k.name, &base, Variant::PostPass, &machine).unwrap();
+        assert_eq!(again.cycles, clean.cycles);
     }
 }

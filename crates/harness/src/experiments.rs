@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use sim::{CacheConfig, MachineConfig};
 
 use crate::cache;
+use crate::error::{self, PipelineError, Stage};
 use crate::pipeline::{Measurement, Variant};
 
 /// Table 1 row: spill-memory compaction for one routine.
@@ -47,31 +48,39 @@ pub fn table1() -> Vec<CompactionRow> {
 /// [`table1`] with an explicit worker count.
 pub fn table1_jobs(jobs: usize) -> Vec<CompactionRow> {
     let kernels = suite::kernels();
-    let mut rows: Vec<CompactionRow> = exec::par_map(
+    let mut rows: Vec<CompactionRow> = error::par_contained(
         jobs,
         &kernels,
         |k| format!("table1 {}", k.name),
         |k| {
-            let mut m = (*cache::optimized(k)).clone();
+            let mut m = (*cache::optimized(k)?).clone();
             regalloc::allocate_module(&mut m, &regalloc::AllocConfig::default());
             let before: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
             if before == 0 {
-                return None;
+                return Ok(None);
             }
             ccm::compact_module(&mut m);
             let after: u32 = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
             // Correctness guard: compaction must not change results.
-            let (v, _) = sim::run_module(&m, MachineConfig::default(), "main")
-                .unwrap_or_else(|e| panic!("{} trapped after compaction: {e}", k.name));
-            assert!(v.floats[0].is_finite());
-            Some(CompactionRow {
+            let (v, _) = sim::run_module(&m, MachineConfig::default(), "main").map_err(|e| {
+                PipelineError::new(Stage::Sim, k.name, format!("trapped after compaction: {e}"))
+            })?;
+            if !v.floats.first().is_some_and(|f| f.is_finite()) {
+                return Err(PipelineError::new(
+                    Stage::Sim,
+                    k.name,
+                    "non-finite checksum after compaction",
+                ));
+            }
+            Ok(Some(CompactionRow {
                 name: k.name.to_string(),
                 before,
                 after,
-            })
+            }))
         },
     )
     .into_iter()
+    .flatten()
     .flatten()
     .collect();
     rows.sort_by(|a, b| b.before.cmp(&a.before).then(a.name.cmp(&b.name)));
@@ -123,38 +132,49 @@ impl SpeedupRow {
     }
 }
 
-/// Measures one kernel at one CCM size under all four variants, or `None`
-/// if the kernel does not spill (the paper reports only routines that
-/// spill).
-fn measure_kernel(k: &suite::Kernel, ccm_size: u32) -> Option<SpeedupRow> {
+/// Measures one kernel at one CCM size under all four variants, or
+/// `Ok(None)` if the kernel does not spill (the paper reports only
+/// routines that spill).
+///
+/// # Errors
+///
+/// Any stage failure from [`cache::measure_unit`]; additionally a CCM
+/// variant whose program checksum diverges from the baseline is a
+/// `stage=sim` error (the transformation changed observable behavior).
+fn measure_kernel(k: &suite::Kernel, ccm_size: u32) -> Result<Option<SpeedupRow>, PipelineError> {
     let machine = MachineConfig::with_ccm(ccm_size);
-    let m = cache::optimized(k);
-    let baseline = cache::measure_unit(k.name, &m, Variant::Baseline, &machine);
+    let m = cache::optimized(k)?;
+    let baseline = cache::measure_unit(k.name, &m, Variant::Baseline, &machine)?;
     if baseline.spilled_ranges == 0 {
-        return None;
+        return Ok(None);
     }
-    let postpass = cache::measure_unit(k.name, &m, Variant::PostPass, &machine);
-    let postpass_cg = cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine);
-    let integrated = cache::measure_unit(k.name, &m, Variant::Integrated, &machine);
+    let postpass = cache::measure_unit(k.name, &m, Variant::PostPass, &machine)?;
+    let postpass_cg = cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine)?;
+    let integrated = cache::measure_unit(k.name, &m, Variant::Integrated, &machine)?;
     for (v, r) in [
-        ("post-pass", &postpass),
-        ("post-pass/cg", &postpass_cg),
-        ("integrated", &integrated),
+        (Variant::PostPass, &postpass),
+        (Variant::PostPassCallGraph, &postpass_cg),
+        (Variant::Integrated, &integrated),
     ] {
-        assert_eq!(
-            r.checksum.to_bits(),
-            baseline.checksum.to_bits(),
-            "{}: {v} changed program output",
-            k.name
-        );
+        if r.checksum.to_bits() != baseline.checksum.to_bits() {
+            return Err(PipelineError::new(
+                Stage::Sim,
+                k.name,
+                format!(
+                    "changed program output: checksum {} vs baseline {}",
+                    r.checksum, baseline.checksum
+                ),
+            )
+            .at(v, ccm_size));
+        }
     }
-    Some(SpeedupRow {
+    Ok(Some(SpeedupRow {
         name: k.name.to_string(),
         baseline,
         postpass,
         postpass_cg,
         integrated,
-    })
+    }))
 }
 
 /// Runs the Table 2 experiment at the given CCM size over every kernel
@@ -183,7 +203,7 @@ pub fn speedup_rows_multi(sizes: &[u32], jobs: usize) -> Vec<Vec<SpeedupRow>> {
             items.push((si, size, k.clone()));
         }
     }
-    let results = exec::par_map(
+    let results = error::par_contained(
         jobs,
         &items,
         |(_, size, k)| format!("speedups {} @ {size} B", k.name),
@@ -191,7 +211,7 @@ pub fn speedup_rows_multi(sizes: &[u32], jobs: usize) -> Vec<Vec<SpeedupRow>> {
     );
     let mut out: Vec<Vec<SpeedupRow>> = sizes.iter().map(|_| Vec::new()).collect();
     for ((si, _, _), row) in items.iter().zip(results) {
-        if let Some(r) = row {
+        if let Some(Some(r)) = row {
             out[*si].push(r);
         }
     }
@@ -246,8 +266,16 @@ pub fn table3_jobs(jobs: usize) -> (Vec<SpeedupRow>, Vec<SpeedupRow>, Vec<String
     let mut sized = speedup_rows_multi(&[512, 1024], jobs);
     let r1024 = sized.pop().expect("two sizes");
     let r512 = sized.pop().expect("two sizes");
-    let improved =
-        improved_names(&r512, &r1024).unwrap_or_else(|e| panic!("table3 row pairing: {e}"));
+    let improved = improved_names(&r512, &r1024).unwrap_or_else(|e| {
+        // A pairing ambiguity poisons only the "improved" summary; the
+        // per-size row sets are still reported.
+        error::record(PipelineError::new(
+            Stage::Exec,
+            "table3",
+            format!("row pairing: {e}"),
+        ));
+        Vec::new()
+    });
     (r512, r1024, improved)
 }
 
@@ -313,13 +341,13 @@ pub fn figure(ccm_size: u32) -> Vec<ProgramRow> {
 pub fn figure_jobs(ccm_size: u32, jobs: usize) -> Vec<ProgramRow> {
     let machine = MachineConfig::with_ccm(ccm_size);
     let programs = suite::programs();
-    exec::par_map(
+    error::par_contained(
         jobs,
         &programs,
         |p| format!("figure {} @ {ccm_size} B", p.name),
         |p| {
-            let m = cache::program(p);
-            let base = cache::measure_unit(p.name, &m, Variant::Baseline, &machine);
+            let m = cache::program(p)?;
+            let base = cache::measure_unit(p.name, &m, Variant::Baseline, &machine)?;
             let mut rel = [(1.0, 1.0); 3];
             for (i, v) in [
                 Variant::PostPass,
@@ -329,26 +357,34 @@ pub fn figure_jobs(ccm_size: u32, jobs: usize) -> Vec<ProgramRow> {
             .into_iter()
             .enumerate()
             {
-                let r = cache::measure_unit(p.name, &m, v, &machine);
-                assert_eq!(
-                    r.checksum.to_bits(),
-                    base.checksum.to_bits(),
-                    "{}: {v:?} changed program output",
-                    p.name
-                );
+                let r = cache::measure_unit(p.name, &m, v, &machine)?;
+                if r.checksum.to_bits() != base.checksum.to_bits() {
+                    return Err(PipelineError::new(
+                        Stage::Sim,
+                        p.name,
+                        format!(
+                            "changed program output: checksum {} vs baseline {}",
+                            r.checksum, base.checksum
+                        ),
+                    )
+                    .at(v, ccm_size));
+                }
                 // Same zero-denominator clamp as `SpeedupRow::rel`.
                 rel[i] = (
                     r.cycles as f64 / base.cycles.max(1) as f64,
                     r.mem_cycles as f64 / base.mem_cycles.max(1) as f64,
                 );
             }
-            ProgramRow {
+            Ok(ProgramRow {
                 name: p.name.to_string(),
                 baseline: (base.cycles, base.mem_cycles),
                 rel,
-            }
+            })
         },
     )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// §4.3 ablation result: one memory-hierarchy configuration.
@@ -418,7 +454,7 @@ pub fn ablation_jobs(jobs: usize) -> Vec<AblationRow> {
         base_hits: (u64, u64),
         ccm_hits: (u64, u64),
     }
-    let cells = exec::par_map(
+    let cells = error::par_contained(
         jobs,
         &items,
         |(ci, _, name)| format!("ablation {} on {}", name, configs[*ci].0),
@@ -427,21 +463,22 @@ pub fn ablation_jobs(jobs: usize) -> Vec<AblationRow> {
                 cache: Some(ccfg.clone()),
                 ..MachineConfig::with_ccm(512)
             };
-            let k = suite::kernel(name).expect("kernel exists");
-            let m = cache::optimized(&k);
-            let b = cache::measure_unit(k.name, &m, Variant::Baseline, &machine);
-            let c = cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine);
+            let k = suite::kernel(name)
+                .ok_or_else(|| PipelineError::new(Stage::Parse, *name, "unknown suite kernel"))?;
+            let m = cache::optimized(&k)?;
+            let b = cache::measure_unit(k.name, &m, Variant::Baseline, &machine)?;
+            let c = cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine)?;
             let hits = |r: &Measurement| {
                 let h = r.metrics.cache.hits + r.metrics.cache.victim_hits;
                 (h, h + r.metrics.cache.misses)
             };
-            Cell {
+            Ok(Cell {
                 config: *ci,
                 base_cycles: b.cycles,
                 ccm_cycles: c.cycles,
                 base_hits: hits(&b),
                 ccm_hits: hits(&c),
-            }
+            })
         },
     );
 
@@ -457,7 +494,7 @@ pub fn ablation_jobs(jobs: usize) -> Vec<AblationRow> {
         .collect();
     let mut base_hits = vec![(0u64, 0u64); rows.len()];
     let mut ccm_hits = vec![(0u64, 0u64); rows.len()];
-    for c in cells {
+    for c in cells.into_iter().flatten() {
         rows[c.config].base_cycles += c.base_cycles;
         rows[c.config].ccm_cycles += c.ccm_cycles;
         base_hits[c.config].0 += c.base_hits.0;
@@ -517,7 +554,9 @@ pub fn check_suite_jobs(sizes: &[u32], jobs: usize) -> Vec<CheckRow> {
         .map(Unit::Kernel)
         .chain(programs.into_iter().map(Unit::Program))
         .collect();
-    let built: Vec<(String, std::sync::Arc<iloc::Module>)> = exec::par_map(
+    // A unit whose build fails is recorded and dropped here; every later
+    // item indexes into the surviving builds only.
+    let built: Vec<(String, std::sync::Arc<iloc::Module>)> = error::par_contained(
         jobs,
         &units,
         |u| {
@@ -528,10 +567,13 @@ pub fn check_suite_jobs(sizes: &[u32], jobs: usize) -> Vec<CheckRow> {
             format!("build {name}")
         },
         |u| match u {
-            Unit::Kernel(k) => (k.name.to_string(), cache::optimized(k)),
-            Unit::Program(p) => (p.name.to_string(), cache::program(p)),
+            Unit::Kernel(k) => Ok((k.name.to_string(), cache::optimized(k)?)),
+            Unit::Program(p) => Ok((p.name.to_string(), cache::program(p)?)),
         },
-    );
+    )
+    .into_iter()
+    .flatten()
+    .collect();
     // …then one work item per (unit, CCM size, variant), enumerated in
     // the same nesting order as the old serial loop so the row order (and
     // every rendering of it) is unchanged.
@@ -543,21 +585,24 @@ pub fn check_suite_jobs(sizes: &[u32], jobs: usize) -> Vec<CheckRow> {
             }
         }
     }
-    exec::par_map(
+    error::par_contained(
         jobs,
         &items,
         |(ui, ccm, v)| format!("check {} {v:?} @ {ccm} B", built[*ui].0),
         |(ui, ccm, v)| {
             let (name, module) = &built[*ui];
-            let a = cache::allocated(name, module, *v, *ccm);
-            CheckRow {
+            let a = cache::allocated(name, module, *v, *ccm)?;
+            Ok(CheckRow {
                 name: name.clone(),
                 variant: *v,
                 ccm: *ccm,
                 diags: (*a.diags).clone(),
-            }
+            })
         },
     )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

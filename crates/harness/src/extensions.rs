@@ -6,6 +6,7 @@
 use regalloc::AllocConfig;
 use sim::MachineConfig;
 
+use crate::error::{self, PipelineError, Stage};
 use crate::pipeline::Variant;
 
 /// One point on the CCM sizing curve.
@@ -33,20 +34,23 @@ pub fn ccm_sweep_jobs(sizes: &[u32], jobs: usize) -> Vec<SweepPoint> {
     // Measure the baseline once, in parallel over the (cached) builds.
     let kernels = suite::kernels();
     let machine0 = MachineConfig::with_ccm(16);
-    let baselines = exec::par_map(
+    let baselines = error::par_contained(
         jobs,
         &kernels,
         |k| format!("sweep baseline {}", k.name),
         |k| {
-            let m = crate::cache::optimized(k);
+            let m = crate::cache::optimized(k)?;
             crate::cache::measure_unit(k.name, &m, Variant::Baseline, &machine0)
         },
     );
+    // A kernel whose baseline failed is recorded and excluded from the
+    // curve entirely (never half-counted in one size's totals).
     let spilling: Vec<usize> = (0..kernels.len())
-        .filter(|&i| baselines[i].spilled_ranges > 0)
+        .filter(|&i| baselines[i].as_ref().is_some_and(|b| b.spilled_ranges > 0))
         .collect();
-    let base_total: u64 = spilling.iter().map(|&i| baselines[i].cycles).sum();
-    let base_mem: u64 = spilling.iter().map(|&i| baselines[i].mem_cycles).sum();
+    let base = |i: &usize| baselines[*i].as_ref();
+    let base_total: u64 = spilling.iter().filter_map(base).map(|b| b.cycles).sum();
+    let base_mem: u64 = spilling.iter().filter_map(base).map(|b| b.mem_cycles).sum();
 
     // One work item per (size, spilling kernel); per-size totals are
     // folded in item order afterward.
@@ -56,27 +60,27 @@ pub fn ccm_sweep_jobs(sizes: &[u32], jobs: usize) -> Vec<SweepPoint> {
             items.push((si, size, ki));
         }
     }
-    let cells = exec::par_map(
+    let cells = error::par_contained(
         jobs,
         &items,
         |(_, size, ki)| format!("sweep {} @ {size} B", kernels[*ki].name),
         |(si, size, ki)| {
             let machine = MachineConfig::with_ccm(*size);
             let k = &kernels[*ki];
-            let m = crate::cache::optimized(k);
-            let r = crate::cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine);
-            (
+            let m = crate::cache::optimized(k)?;
+            let r = crate::cache::measure_unit(k.name, &m, Variant::PostPassCallGraph, &machine)?;
+            Ok((
                 *si,
                 r.cycles,
                 r.mem_cycles,
                 r.metrics.ccm_ops,
                 r.metrics.spill_stores + r.metrics.spill_restores,
-            )
+            ))
         },
     );
 
     let mut sums = vec![(0u64, 0u64, 0u64, 0u64); sizes.len()];
-    for (si, cycles, mem, promoted, possible) in cells {
+    for (si, cycles, mem, promoted, possible) in cells.into_iter().flatten() {
         sums[si].0 += cycles;
         sums[si].1 += mem;
         sums[si].2 += promoted;
@@ -109,13 +113,18 @@ pub struct DesignRow {
 
 const ABLATION_KERNELS: [&str; 5] = ["fpppp", "radf5", "deseco", "urand", "erhs"];
 
-fn run_config(opts: &opt::OptOptions, alloc: &AllocConfig, promote: bool) -> DesignRow {
+fn run_config(
+    opts: &opt::OptOptions,
+    alloc: &AllocConfig,
+    promote: bool,
+) -> Result<DesignRow, PipelineError> {
     let machine = MachineConfig::with_ccm(512);
     let mut spilled = 0;
     let mut spill_bytes = 0;
     let mut cycles = 0;
     for name in ABLATION_KERNELS {
-        let k = suite::kernel(name).expect("kernel");
+        let k = suite::kernel(name)
+            .ok_or_else(|| PipelineError::new(Stage::Parse, name, "unknown suite kernel"))?;
         let mut m = (k.build)();
         let o = opt::OptOptions {
             unroll: k.unroll,
@@ -140,15 +149,16 @@ fn run_config(opts: &opt::OptOptions, alloc: &AllocConfig, promote: bool) -> Des
             .iter()
             .map(|f| f.frame.spill_bytes())
             .sum::<u32>();
-        let (_, metrics) = sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
+        let (_, metrics) = sim::run_module(&m, machine.clone(), "main")
+            .map_err(|e| PipelineError::new(Stage::Sim, name, e.to_string()))?;
         cycles += metrics.cycles;
     }
-    DesignRow {
+    Ok(DesignRow {
         config: String::new(),
         spilled,
         spill_bytes,
         cycles,
-    }
+    })
 }
 
 /// Ablates the design choices: scalar optimization on/off, LICM on/off,
@@ -158,9 +168,19 @@ pub fn design_ablation() -> Vec<DesignRow> {
     let base_opts = opt::OptOptions::default();
     let base_alloc = AllocConfig::default();
     let mut rows = Vec::new();
-    let mut push = |label: &str, mut r: DesignRow| {
-        r.config = label.to_string();
-        rows.push(r);
+    // A failed configuration is recorded and its row dropped; the other
+    // configurations still report.
+    let mut push = |label: &str, r: Result<DesignRow, PipelineError>| match r {
+        Ok(mut row) => {
+            row.config = label.to_string();
+            rows.push(row);
+        }
+        Err(e) => {
+            error::record(PipelineError {
+                unit: format!("design ablation `{label}` ({})", e.unit),
+                ..e
+            });
+        }
     };
     push(
         "baseline (opt, coalesce, no CCM)",
@@ -378,12 +398,15 @@ pub fn scheduling_study() -> Vec<SchedRow> {
     let mut rows = Vec::new();
 
     let mut run = |label: &str, pre_sched: bool, post_sched: bool, promote: bool| {
-        let cells = exec::par_map_default(
+        let cells = error::par_contained(
+            exec::default_jobs(),
             &kernels,
             |name| format!("sched study {name} ({label})"),
             |name| {
-                let k = suite::kernel(name).expect("kernel");
-                let mut m = (*crate::cache::optimized(&k)).clone();
+                let k = suite::kernel(name).ok_or_else(|| {
+                    PipelineError::new(Stage::Parse, *name, "unknown suite kernel")
+                })?;
+                let mut m = (*crate::cache::optimized(&k)?).clone();
                 if pre_sched {
                     sched::schedule_module(&mut m, 3);
                 }
@@ -401,10 +424,13 @@ pub fn scheduling_study() -> Vec<SchedRow> {
                 if post_sched {
                     sched::schedule_module(&mut m, 3);
                 }
-                m.verify().expect("verifies");
-                let (_, metrics) =
-                    sim::run_module(&m, machine.clone(), "main").expect("kernel runs");
-                (spilled, metrics.stall_cycles, metrics.cycles)
+                m.verify().map_err(|e| {
+                    PipelineError::new(Stage::Checker, *name, format!("({label}): {e}"))
+                })?;
+                let (_, metrics) = sim::run_module(&m, machine.clone(), "main").map_err(|e| {
+                    PipelineError::new(Stage::Sim, *name, format!("({label}): {e}"))
+                })?;
+                Ok((spilled, metrics.stall_cycles, metrics.cycles))
             },
         );
         let mut row = SchedRow {
@@ -413,7 +439,7 @@ pub fn scheduling_study() -> Vec<SchedRow> {
             stalls: 0,
             cycles: 0,
         };
-        for (spilled, stalls, cycles) in cells {
+        for (spilled, stalls, cycles) in cells.into_iter().flatten() {
             row.spilled += spilled;
             row.stalls += stalls;
             row.cycles += cycles;

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! * [`experiments::table1`] — spill-memory compaction (Table 1);
@@ -22,8 +24,10 @@
 
 pub mod cache;
 pub mod csv;
+pub mod error;
 pub mod experiments;
 pub mod extensions;
+pub mod inject_sweep;
 pub mod pipeline;
 pub mod report;
 
@@ -33,9 +37,12 @@ pub use extensions::{
 };
 
 pub use csv::export_all;
+pub use error::{PipelineError, Stage};
 pub use experiments::{
     ablation, ablation_jobs, check_suite, check_suite_jobs, figure, figure_jobs, improved_names,
     speedup_rows, speedup_rows_jobs, speedup_rows_multi, table1, table1_jobs, table3, table3_jobs,
     table4_from, AblationRow, CheckRow, CompactionRow, ProgramRow, SpeedupRow, Table4Cell,
 };
-pub use pipeline::{allocate_variant, check_allocated, measure, Measurement, Variant};
+pub use pipeline::{
+    allocate_variant, check_allocated, measure, AllocOutcome, Measurement, Variant,
+};

@@ -1,3 +1,4 @@
+#![warn(clippy::unwrap_used)]
 //! `repro`: prints the paper's tables and figures from live runs.
 //!
 //! Flags select experiments (`--all` runs every experiment); `--jobs N`
@@ -5,12 +6,22 @@
 //! parallelism). Each stage prints a wall-clock timing line to stderr.
 //! Unknown flags are an error: a misspelled `--tabel2` exits 2 with the
 //! usage string instead of silently doing nothing.
+//!
+//! Failure is deferred, never fatal mid-run: a measurement that errors
+//! drops its row and is recorded; every remaining experiment still
+//! runs. At the end of the run the aggregated failure report is printed
+//! to stderr (and as JSON on stdout with `--errors-json`), and only
+//! then does the process exit nonzero. `--sim-budget N` caps every
+//! simulation at N instruction steps (the runaway-loop watchdog);
+//! `--inject-sweep` fires each registered fault point one at a time and
+//! asserts the pipeline survives with the expected structured failure.
 
-use harness::report;
+use harness::{error, inject_sweep, report};
 
 const USAGE: &str = "usage: repro [--table1] [--table2] [--table3] [--table4] \
      [--figure3] [--figure4] [--ablation] [--sweep] [--design] [--sched] [--multitask] \
-     [--check[=json]] [--csv [DIR]] [--fuzz N [--seed S]] [--jobs N] [--all]";
+     [--check[=json]] [--csv [DIR]] [--fuzz N [--seed S]] [--inject-sweep] \
+     [--sim-budget N] [--errors-json] [--jobs N] [--all]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -40,6 +51,8 @@ struct Opts {
     csv: Option<std::path::PathBuf>,
     fuzz: Option<usize>,
     fuzz_seed: u64,
+    inject_sweep: bool,
+    errors_json: bool,
 }
 
 fn parse(args: &[String]) -> Opts {
@@ -63,6 +76,18 @@ fn parse(args: &[String]) -> Opts {
             "--check=json" => {
                 o.check = true;
                 o.check_json = true;
+            }
+            "--inject-sweep" => o.inject_sweep = true,
+            "--errors-json" => o.errors_json = true,
+            "--sim-budget" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--sim-budget needs a step count"));
+                match v.parse::<u64>() {
+                    Ok(n) if n > 0 => sim::set_default_max_steps(n),
+                    _ => die(&format!("invalid --sim-budget `{v}`")),
+                }
             }
             "--csv" => {
                 // Optional directory operand; defaults to `results`.
@@ -136,6 +161,10 @@ fn main() {
         usage();
     }
     let o = parse(&args);
+    // Deferred failure: experiments record structured errors and keep
+    // going; these track the extra failure sources (checker rows, fuzz
+    // cases, sweep verdicts, csv IO) that aren't PipelineErrors.
+    let mut deferred_failure = false;
 
     if o.table1 {
         let rows = exec::timed("repro", "table1", harness::table1);
@@ -191,7 +220,7 @@ fn main() {
             print!("{}", report::render_check_summary(&rows));
         }
         if rows.iter().any(|r| r.error_count() > 0) {
-            std::process::exit(1);
+            deferred_failure = true;
         }
     }
     if let Some(n) = o.fuzz {
@@ -206,7 +235,16 @@ fn main() {
         });
         print!("{}", rep.text);
         if rep.failures > 0 {
-            std::process::exit(1);
+            deferred_failure = true;
+        }
+    }
+    if o.inject_sweep {
+        let outcomes = exec::timed("repro", "inject-sweep", || {
+            inject_sweep::run_sweep(exec::default_jobs())
+        });
+        print!("{}", inject_sweep::render(&outcomes));
+        if outcomes.iter().any(|v| !v.passed) {
+            deferred_failure = true;
         }
     }
     if let Some(dir) = o.csv {
@@ -214,8 +252,21 @@ fn main() {
             Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),
             Err(e) => {
                 eprintln!("csv export failed: {e}");
-                std::process::exit(1);
+                deferred_failure = true;
             }
         }
+    }
+
+    // End-of-run aggregation: every structured failure the experiments
+    // recorded, sorted (job-count-independent), then the one exit code.
+    let errors = error::drain();
+    if !errors.is_empty() {
+        eprint!("{}", error::render_text(&errors));
+    }
+    if o.errors_json {
+        print!("{}", error::render_json(&errors));
+    }
+    if deferred_failure || !errors.is_empty() {
+        std::process::exit(1);
     }
 }

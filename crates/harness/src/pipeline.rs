@@ -1,8 +1,19 @@
 //! The compile-and-measure pipeline shared by all experiments.
+//!
+//! Failure is structured, not fatal: [`measure`] returns a
+//! [`PipelineError`] with stage provenance (alloc / checker / sim)
+//! instead of panicking, allocator panics are caught and converted, and
+//! a function whose CCM slot coloring fails degrades to heavyweight
+//! spills recorded as [`ccm::Degradation`] events on the
+//! [`Measurement`] — the paper's §3.1 fallback, applied per function.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use iloc::Module;
 use regalloc::AllocConfig;
 use sim::{MachineConfig, Metrics};
+
+use crate::error::{PipelineError, Stage};
 
 /// The allocation strategy under test — the three CCM methods of the
 /// paper plus the no-CCM baseline.
@@ -36,6 +47,16 @@ impl Variant {
             Variant::Integrated => "Integrated",
         }
     }
+
+    /// Short name used in error reports and JSON.
+    pub fn short(&self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::PostPass => "postpass",
+            Variant::PostPassCallGraph => "postpass+cg",
+            Variant::Integrated => "integrated",
+        }
+    }
 }
 
 /// One measured configuration of one module.
@@ -53,40 +74,62 @@ pub struct Measurement {
     pub spill_bytes: u32,
     /// Live ranges spilled during allocation.
     pub spilled_ranges: usize,
+    /// Functions that fell back from CCM allocation to heavyweight
+    /// spills (graceful degradation events, not errors).
+    pub degraded: Vec<ccm::Degradation>,
+}
+
+/// The outcome of [`allocate_variant`]: spill statistics plus any
+/// per-function degradation events.
+#[derive(Clone, Debug, Default)]
+pub struct AllocOutcome {
+    /// Live ranges spilled during allocation.
+    pub spilled_ranges: usize,
+    /// Functions that abandoned CCM allocation and kept conventional
+    /// heavyweight spills.
+    pub degraded: Vec<ccm::Degradation>,
 }
 
 /// Applies `variant` allocation (with CCM capacity `ccm_size`) to an
 /// optimized module. The input should come from
 /// [`suite::build_optimized`] or [`suite::build_program`].
-pub fn allocate_variant(m: &mut Module, variant: Variant, ccm_size: u32) -> usize {
+pub fn allocate_variant(m: &mut Module, variant: Variant, ccm_size: u32) -> AllocOutcome {
     let cfg = AllocConfig::default();
+    let postpass = |m: &mut Module, interprocedural: bool| -> AllocOutcome {
+        let n = regalloc::allocate_module(m, &cfg).total_spilled();
+        let promos = ccm::postpass_promote(
+            m,
+            &ccm::PostpassConfig {
+                ccm_size,
+                interprocedural,
+            },
+        );
+        AllocOutcome {
+            spilled_ranges: n,
+            degraded: promos
+                .into_iter()
+                .filter_map(|p| {
+                    p.degraded.map(|reason| ccm::Degradation {
+                        function: p.name,
+                        reason,
+                    })
+                })
+                .collect(),
+        }
+    };
     match variant {
-        Variant::Baseline => regalloc::allocate_module(m, &cfg).total_spilled(),
-        Variant::PostPass => {
-            let n = regalloc::allocate_module(m, &cfg).total_spilled();
-            ccm::postpass_promote(
-                m,
-                &ccm::PostpassConfig {
-                    ccm_size,
-                    interprocedural: false,
-                },
-            );
-            n
-        }
-        Variant::PostPassCallGraph => {
-            let n = regalloc::allocate_module(m, &cfg).total_spilled();
-            ccm::postpass_promote(
-                m,
-                &ccm::PostpassConfig {
-                    ccm_size,
-                    interprocedural: true,
-                },
-            );
-            n
-        }
+        Variant::Baseline => AllocOutcome {
+            spilled_ranges: regalloc::allocate_module(m, &cfg).total_spilled(),
+            degraded: Vec::new(),
+        },
+        Variant::PostPass => postpass(m, false),
+        Variant::PostPassCallGraph => postpass(m, true),
         Variant::Integrated => {
-            let (a, _) = ccm::allocate_module_integrated(m, &cfg, ccm_size);
-            a.total_spilled()
+            let (a, _, degraded) = ccm::allocate_module_integrated(m, &cfg, ccm_size);
+            AllocOutcome {
+                spilled_ranges: a.total_spilled(),
+                degraded,
+            }
         }
     }
 }
@@ -98,52 +141,135 @@ pub fn check_allocated(m: &Module, ccm_size: u32) -> Vec<checker::Diagnostic> {
     checker::check_module(m, &checker::CheckerConfig::new(ccm_size))
 }
 
+/// [`allocate_variant`] with allocator panics contained: a panic inside
+/// register allocation or CCM promotion becomes a `stage=alloc`
+/// [`PipelineError`] instead of unwinding through the campaign.
+///
+/// # Errors
+///
+/// Returns the structured allocation failure.
+pub fn allocate_contained(
+    m: &mut Module,
+    unit: &str,
+    variant: Variant,
+    ccm_size: u32,
+) -> Result<AllocOutcome, PipelineError> {
+    let mut scratch = std::mem::take(m);
+    match catch_unwind(AssertUnwindSafe(move || {
+        let out = allocate_variant(&mut scratch, variant, ccm_size);
+        (scratch, out)
+    })) {
+        Ok((allocated, out)) => {
+            *m = allocated;
+            Ok(out)
+        }
+        Err(payload) => {
+            Err(
+                PipelineError::new(Stage::Alloc, unit, exec::render_payload(payload.as_ref()))
+                    .at(variant, ccm_size),
+            )
+        }
+    }
+}
+
+/// Converts checker diagnostics into a `stage=checker` error when any
+/// has error severity.
+///
+/// # Errors
+///
+/// Returns the structured checker rejection.
+pub fn checker_gate(
+    diags: &[checker::Diagnostic],
+    unit: &str,
+    variant: Variant,
+    ccm_size: u32,
+) -> Result<(), PipelineError> {
+    if !checker::has_errors(diags) {
+        return Ok(());
+    }
+    let errors = checker::errors(diags);
+    Err(PipelineError::new(
+        Stage::Checker,
+        unit,
+        format!(
+            "{} checker error(s); first: {}",
+            errors.len(),
+            errors.first().map(|d| d.to_string()).unwrap_or_default()
+        ),
+    )
+    .at(variant, ccm_size))
+}
+
 /// Allocates (per `variant`) and simulates an optimized module, returning
 /// the measurement. `machine` controls CCM size and any cache model.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the allocated module fails the post-allocation checker, or
-/// if the program traps — suite programs are expected to run.
-pub fn measure(mut m: Module, variant: Variant, machine: &MachineConfig) -> Measurement {
-    let spilled_ranges = allocate_variant(&mut m, variant, machine.ccm_size);
+/// Every stage failure is structured: an allocator panic becomes
+/// `stage=alloc`, a checker rejection `stage=checker`, and a simulator
+/// trap (unknown global, out-of-bounds access, exhausted `--sim-budget`)
+/// `stage=sim`. CCM coloring failures are *not* errors — the affected
+/// function degrades to heavyweight spills and the event is recorded in
+/// [`Measurement::degraded`].
+pub fn measure(
+    m: Module,
+    variant: Variant,
+    machine: &MachineConfig,
+) -> Result<Measurement, PipelineError> {
+    measure_named("<module>", m, variant, machine)
+}
+
+/// [`measure`] with the suite unit's name attached to any failure.
+///
+/// # Errors
+///
+/// Same as [`measure`].
+pub fn measure_named(
+    unit: &str,
+    mut m: Module,
+    variant: Variant,
+    machine: &MachineConfig,
+) -> Result<Measurement, PipelineError> {
+    let alloc = allocate_contained(&mut m, unit, variant, machine.ccm_size)?;
     let diags = check_allocated(&m, machine.ccm_size);
-    if checker::has_errors(&diags) {
-        panic!(
-            "allocated module fails the post-allocation checker:\n{}",
-            checker::render_text(&diags)
-        );
-    }
-    let (vals, metrics) = sim::run_module(&m, machine.clone(), "main")
-        .unwrap_or_else(|e| panic!("simulation trapped: {e}"));
+    checker_gate(&diags, unit, variant, machine.ccm_size)?;
+    let (vals, metrics) = sim::run_module(&m, machine.clone(), "main").map_err(|e| {
+        PipelineError::new(Stage::Sim, unit, e.to_string()).at(variant, machine.ccm_size)
+    })?;
     let spill_bytes = m.functions.iter().map(|f| f.frame.spill_bytes()).sum();
-    Measurement {
+    Ok(Measurement {
         cycles: metrics.cycles,
         mem_cycles: metrics.mem_op_cycles,
         metrics,
         checksum: vals.floats.first().copied().unwrap_or(f64::NAN),
         spill_bytes,
-        spilled_ranges,
-    }
+        spilled_ranges: alloc.spilled_ranges,
+        degraded: alloc.degraded,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn must(m: Result<Measurement, PipelineError>) -> Measurement {
+        m.unwrap_or_else(|e| panic!("measurement failed: {e}"))
+    }
+
     #[test]
     fn variants_agree_on_checksum_and_ccm_wins() {
         let k = suite::kernel("radf5").unwrap();
         let m = suite::build_optimized(&k);
         let machine = MachineConfig::with_ccm(512);
-        let base = measure(m.clone(), Variant::Baseline, &machine);
+        let base = must(measure(m.clone(), Variant::Baseline, &machine));
         assert!(base.spilled_ranges > 0, "radf5 must spill");
+        assert!(base.degraded.is_empty(), "nothing degrades unprovoked");
         for v in [
             Variant::PostPass,
             Variant::PostPassCallGraph,
             Variant::Integrated,
         ] {
-            let r = measure(m.clone(), v, &machine);
+            let r = must(measure(m.clone(), v, &machine));
             assert_eq!(
                 r.checksum.to_bits(),
                 base.checksum.to_bits(),
@@ -163,10 +289,23 @@ mod tests {
         let k = suite::kernel("efill").unwrap();
         let m = suite::build_optimized(&k);
         let machine = MachineConfig::with_ccm(512);
-        let base = measure(m.clone(), Variant::Baseline, &machine);
+        let base = must(measure(m.clone(), Variant::Baseline, &machine));
         assert_eq!(base.spilled_ranges, 0);
-        let pp = measure(m.clone(), Variant::PostPassCallGraph, &machine);
+        let pp = must(measure(m.clone(), Variant::PostPassCallGraph, &machine));
         assert_eq!(pp.cycles, base.cycles);
         assert_eq!(pp.metrics.ccm_ops, 0);
+    }
+
+    #[test]
+    fn step_limit_surfaces_as_sim_stage_error() {
+        let k = suite::kernel("radf5").unwrap();
+        let m = suite::build_optimized(&k);
+        let machine = MachineConfig {
+            max_steps: 10,
+            ..MachineConfig::with_ccm(512)
+        };
+        let err = measure(m, Variant::Baseline, &machine).unwrap_err();
+        assert_eq!(err.stage, Stage::Sim);
+        assert!(err.detail.contains("step limit"), "{err}");
     }
 }

@@ -23,6 +23,8 @@ use crate::metrics::Metrics;
 pub enum SimError {
     /// Entry or callee not found.
     UnknownFunction(String),
+    /// A `loadSym` referenced a global the module does not declare.
+    UnknownGlobal(String),
     /// Main-memory access outside `[0, mem_size)`.
     MemOutOfBounds {
         /// The faulting byte address.
@@ -51,6 +53,7 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            SimError::UnknownGlobal(n) => write!(f, "unknown global `{n}`"),
             SimError::MemOutOfBounds { addr } => write!(f, "memory access out of bounds at {addr}"),
             SimError::CcmOutOfBounds { off, size } => {
                 write!(f, "ccm access at {off} beyond ccm size {size}")
@@ -146,19 +149,23 @@ impl<'m> Machine<'m> {
 
     /// The base address of global `name`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the global does not exist.
-    pub fn global_base(&self, name: &str) -> i64 {
-        *self
-            .globals
+    /// Returns [`SimError::UnknownGlobal`] if the module declares no such
+    /// global — a structured trap, not a panic, so one bad module cannot
+    /// abort a whole campaign.
+    pub fn global_base(&self, name: &str) -> Result<i64, SimError> {
+        self.globals
             .get(name)
-            .unwrap_or_else(|| panic!("unknown global {name}"))
+            .copied()
+            .ok_or_else(|| SimError::UnknownGlobal(name.to_string()))
     }
 
     /// Raw bytes of global `name` (after execution, reflects stores).
+    /// Host-side inspection API: panics on an unknown name (runtime code
+    /// goes through [`Machine::global_base`] instead).
     pub fn global_bytes(&self, name: &str) -> &[u8] {
-        let base = self.global_base(name) as usize;
+        let base = self.global_base(name).expect("global exists") as usize;
         let size = self.module.global(name).expect("global exists").size as usize;
         &self.mem[base..base + size]
     }
@@ -190,6 +197,9 @@ impl<'m> Machine<'m> {
             self.mem[base..base + g.init.len()].copy_from_slice(&g.init);
         }
 
+        if inject::faultpoint!("sim.unknown_global") {
+            return Err(SimError::UnknownGlobal("__injected__".to_string()));
+        }
         let findex = self.module.function_indices();
         let entry_idx = *findex
             .get(entry)
@@ -202,7 +212,7 @@ impl<'m> Machine<'m> {
 
         loop {
             self.metrics.instrs += 1;
-            if self.metrics.instrs > self.cfg.max_steps {
+            if self.metrics.instrs > self.cfg.max_steps || inject::faultpoint!("sim.budget") {
                 return Err(SimError::StepLimit);
             }
             self.metrics.max_depth = self.metrics.max_depth.max(frames.len() as u64);
@@ -255,7 +265,10 @@ impl<'m> Machine<'m> {
                 }
                 Op::LoadSym { sym, dst } => {
                     self.metrics.cycles += 1;
-                    frame.gpr[dst.index() as usize] = self.globals[sym];
+                    frame.gpr[dst.index() as usize] = match self.globals.get(sym) {
+                        Some(&base) => base,
+                        None => return Err(SimError::UnknownGlobal(sym.clone())),
+                    };
                 }
                 Op::IBin {
                     kind,

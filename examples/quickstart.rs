@@ -60,7 +60,7 @@ fn main() {
 
     // 4. Or do it in one step with the integrated allocator (§3.2).
     let mut integrated = module.clone();
-    let (_, ccm_stats) =
+    let (_, ccm_stats, _) =
         ccm::allocate_module_integrated(&mut integrated, &AllocConfig::default(), 512);
     let (v2, m2) = sim::run_module(&integrated, machine, "main").expect("integrated runs");
     println!(

@@ -4,6 +4,11 @@
 use regalloc::AllocConfig;
 use sim::MachineConfig;
 
+/// Unwraps a pipeline measurement, printing the structured error.
+fn must(r: Result<harness::Measurement, harness::PipelineError>) -> harness::Measurement {
+    r.unwrap_or_else(|e| panic!("measurement failed: {e}"))
+}
+
 /// An irreducible CFG (two distinct entries into a cycle) survives the
 /// whole pipeline: SSA in/out, optimization, allocation, promotion.
 #[test]
@@ -134,7 +139,11 @@ fn scheduler_composes_with_ccm_pipeline() {
     let k = suite::kernel("colbur").expect("kernel exists");
     let m0 = suite::build_optimized(&k);
     let machine = MachineConfig::with_ccm(512);
-    let base = harness::measure(m0.clone(), harness::Variant::Baseline, &machine);
+    let base = must(harness::measure(
+        m0.clone(),
+        harness::Variant::Baseline,
+        &machine,
+    ));
 
     let mut m = m0.clone();
     sched::schedule_module(&mut m, 2);

@@ -5,20 +5,25 @@
 use harness::{measure, Variant};
 use sim::MachineConfig;
 
+/// Unwraps a pipeline measurement, printing the structured error.
+fn must(r: Result<harness::Measurement, harness::PipelineError>) -> harness::Measurement {
+    r.unwrap_or_else(|e| panic!("measurement failed: {e}"))
+}
+
 /// Every kernel, every variant, 512-byte CCM.
 #[test]
 fn all_kernels_all_variants_agree_at_512() {
     let machine = MachineConfig::with_ccm(512);
     for k in suite::kernels() {
         let m = suite::build_optimized(&k);
-        let base = measure(m.clone(), Variant::Baseline, &machine);
+        let base = must(measure(m.clone(), Variant::Baseline, &machine));
         assert!(base.checksum.is_finite(), "{}: non-finite checksum", k.name);
         for v in [
             Variant::PostPass,
             Variant::PostPassCallGraph,
             Variant::Integrated,
         ] {
-            let r = measure(m.clone(), v, &machine);
+            let r = must(measure(m.clone(), v, &machine));
             assert_eq!(
                 r.checksum.to_bits(),
                 base.checksum.to_bits(),
@@ -44,11 +49,15 @@ fn kernel_sample_agrees_across_ccm_sizes() {
     for name in names {
         let k = suite::kernel(name).expect("kernel exists");
         let m = suite::build_optimized(&k);
-        let base = measure(m.clone(), Variant::Baseline, &MachineConfig::with_ccm(1024));
+        let base = must(measure(
+            m.clone(),
+            Variant::Baseline,
+            &MachineConfig::with_ccm(1024),
+        ));
         for ccm_size in [16, 128, 1024] {
             let machine = MachineConfig::with_ccm(ccm_size);
             for v in [Variant::PostPassCallGraph, Variant::Integrated] {
-                let r = measure(m.clone(), v, &machine);
+                let r = must(measure(m.clone(), v, &machine));
                 assert_eq!(
                     r.checksum.to_bits(),
                     base.checksum.to_bits(),
@@ -66,7 +75,11 @@ fn programs_sample_agrees() {
     for pname in ["turb3d", "forsythe", "applu", "fftpackX"] {
         let p = suite::program(pname).expect("program exists");
         let m = suite::build_program(&p);
-        let base = measure(m.clone(), Variant::Baseline, &MachineConfig::with_ccm(512));
+        let base = must(measure(
+            m.clone(),
+            Variant::Baseline,
+            &MachineConfig::with_ccm(512),
+        ));
         for ccm_size in [512u32, 1024] {
             let machine = MachineConfig::with_ccm(ccm_size);
             for v in [
@@ -74,7 +87,7 @@ fn programs_sample_agrees() {
                 Variant::PostPassCallGraph,
                 Variant::Integrated,
             ] {
-                let r = measure(m.clone(), v, &machine);
+                let r = must(measure(m.clone(), v, &machine));
                 assert_eq!(
                     r.checksum.to_bits(),
                     base.checksum.to_bits(),
@@ -97,7 +110,7 @@ fn promotion_respects_ccm_capacity() {
         for ccm_size in [64u32, 512] {
             // measure() panics on any trap, including CcmOutOfBounds.
             let machine = MachineConfig::with_ccm(ccm_size);
-            let r = measure(m.clone(), Variant::PostPassCallGraph, &machine);
+            let r = must(measure(m.clone(), Variant::PostPassCallGraph, &machine));
             assert!(r.checksum.is_finite());
         }
     }

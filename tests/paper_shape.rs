@@ -6,6 +6,11 @@
 use harness::{measure, Variant};
 use sim::MachineConfig;
 
+/// Unwraps a pipeline measurement, printing the structured error.
+fn must(r: Result<harness::Measurement, harness::PipelineError>) -> harness::Measurement {
+    r.unwrap_or_else(|e| panic!("measurement failed: {e}"))
+}
+
 /// Table 1 shape: the four monolithic routines the paper names as
 /// "required more than 1000 bytes and could not be compacted" behave
 /// exactly that way here, and every other ratio is sane.
@@ -53,10 +58,10 @@ fn figure_shape_interprocedural_dominates() {
     for pname in ["turb3d", "forsythe", "spice"] {
         let p = suite::program(pname).expect("program exists");
         let m = suite::build_program(&p);
-        let base = measure(m.clone(), Variant::Baseline, &machine);
-        let pp = measure(m.clone(), Variant::PostPass, &machine);
-        let cg = measure(m.clone(), Variant::PostPassCallGraph, &machine);
-        let ig = measure(m, Variant::Integrated, &machine);
+        let base = must(measure(m.clone(), Variant::Baseline, &machine));
+        let pp = must(measure(m.clone(), Variant::PostPass, &machine));
+        let cg = must(measure(m.clone(), Variant::PostPassCallGraph, &machine));
+        let ig = must(measure(m, Variant::Integrated, &machine));
         assert!(cg.cycles <= pp.cycles, "{pname}: call-graph version worse");
         assert!(cg.cycles <= ig.cycles, "{pname}: call-graph version worse");
         assert!(cg.cycles < base.cycles, "{pname}: must improve");
@@ -79,11 +84,11 @@ fn bigger_ccm_is_monotone() {
         let m = suite::build_optimized(&k);
         let mut prev = u64::MAX;
         for ccm in [64u32, 256, 1024] {
-            let r = measure(
+            let r = must(measure(
                 m.clone(),
                 Variant::PostPassCallGraph,
                 &MachineConfig::with_ccm(ccm),
-            );
+            ));
             assert!(
                 r.cycles <= prev,
                 "{name}: cycles increased when CCM grew to {ccm}"

@@ -12,6 +12,7 @@ fn meas(cycles: u64, mem_cycles: u64) -> Measurement {
         checksum: 1.0,
         spill_bytes: 64,
         spilled_ranges: 3,
+        degraded: Vec::new(),
     }
 }
 
