@@ -30,6 +30,19 @@ echo "== fuzz smoke: repro --fuzz 64 --seed 1 --jobs 2"
 # reproducer was printed — file it under tests/corpus/.
 cargo run --release -q -p harness --bin repro -- --fuzz 64 --seed 1 --jobs 2
 
+echo "== dual-engine smoke: repro --table1 under ast vs decoded (byte-identical)"
+# The decoded engine's equivalence contract at the output level: the
+# paper's headline table must be byte-identical whichever engine
+# simulated it. Stdout only — stderr carries timing lines that differ.
+diff <(cargo run --release -q -p harness --bin repro -- --table1 --engine ast --jobs 2 2> /dev/null) \
+     <(cargo run --release -q -p harness --bin repro -- --table1 --engine decoded --jobs 2 2> /dev/null)
+
+echo "== decoded-engine fuzz smoke: repro --fuzz 64 --seed 1 --dual-engine --jobs 2"
+# The same fixed-seed campaign with every simulation run under BOTH
+# engines; any divergence in values, metrics, or traps is an
+# engine-mismatch failure.
+cargo run --release -q -p harness --bin repro -- --fuzz 64 --seed 1 --dual-engine --jobs 2
+
 echo "== inject smoke: repro --inject-sweep --jobs 2"
 # Fault-injection sweep in release mode: arm each registered fault
 # point in turn and assert the pipeline survives with the expected

@@ -1,0 +1,57 @@
+//! Criterion benches for the two execution engines: the AST reference
+//! interpreter versus the pre-decoded flat-PC engine, on the same
+//! allocated modules. Each iteration is one full simulation run on a
+//! reused `Machine`, so the decoded engine's one-time lowering is
+//! amortized the way a fuzz campaign or sweep amortizes it. A third
+//! group measures the decode step itself, to keep its cost honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use sim::{DecodedModule, Engine, Machine, MachineConfig};
+
+/// Builds and allocates one benchmark kernel at the paper's headline
+/// configuration (post-pass + call graph, 512-byte CCM).
+fn allocated(name: &str) -> iloc::Module {
+    let k = suite::kernel(name).expect("kernel exists");
+    let mut m = suite::build_optimized(&k);
+    harness::allocate_variant(&mut m, harness::Variant::PostPassCallGraph, 512);
+    m
+}
+
+fn machine_for(m: &iloc::Module, engine: Engine) -> Machine<'_> {
+    let cfg = MachineConfig {
+        engine,
+        ..MachineConfig::with_ccm(512)
+    };
+    Machine::new(m, cfg)
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    for name in bench::BENCH_KERNELS {
+        let m = allocated(name);
+        let group_name = format!("engine/{name}");
+        let mut g = c.benchmark_group(&group_name);
+        for engine in [Engine::Ast, Engine::Decoded] {
+            let mut machine = machine_for(&m, engine);
+            g.bench_function(engine.name(), |b| {
+                b.iter(|| {
+                    let v = machine.run("main").expect("kernel runs");
+                    black_box(v)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn decode_cost(c: &mut Criterion) {
+    let m = allocated("fpppp");
+    let machine = machine_for(&m, Engine::Decoded);
+    c.bench_function("engine/decode_fpppp", |b| {
+        b.iter(|| black_box(DecodedModule::decode(&m, machine.globals_map()).len()))
+    });
+}
+
+criterion_group!(benches, engine_throughput, decode_cost);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! The perf trajectory: `repro --bench-json PATH`.
+//!
+//! Writes a machine-readable snapshot of simulator throughput so future
+//! changes have a baseline to compare against (`BENCH_sim.json` at the
+//! repo root is the committed seed). For every suite kernel, the module
+//! is built and allocated once (post-pass + call graph at 512 bytes,
+//! the paper's headline configuration), then run under **both**
+//! execution engines on a reused [`sim::Machine`] — so the decoded
+//! engine's one-time lowering is amortized exactly as in a campaign —
+//! and the steady-state instructions/second are reported per engine.
+//! Any stage timings recorded by [`exec::timed`] earlier in the same
+//! `repro` invocation (e.g. `--all`) are appended, giving one file that
+//! tracks both raw simulator speed and end-to-end experiment time.
+//!
+//! JSON is hand-rolled: the fields are flat numbers and strings, and
+//! the container has no serde (vendored-shim policy).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use sim::{Engine, Machine, MachineConfig};
+
+use crate::pipeline::{allocate_variant, Variant};
+
+/// Throughput of one engine on one kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSample {
+    /// Steady-state wall-clock seconds per run (median-free mean over
+    /// the timed window).
+    pub secs_per_run: f64,
+    /// Executed instructions per wall-clock second.
+    pub instrs_per_sec: f64,
+}
+
+/// Both engines' throughput on one kernel.
+#[derive(Clone, Debug)]
+pub struct KernelBench {
+    /// Kernel name.
+    pub name: String,
+    /// Dynamic instruction count of one run.
+    pub instrs: u64,
+    /// Simulated cycles of one run.
+    pub cycles: u64,
+    /// AST (reference) engine throughput.
+    pub ast: EngineSample,
+    /// Decoded engine throughput.
+    pub decoded: EngineSample,
+}
+
+impl KernelBench {
+    /// Decoded-over-AST throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.decoded.instrs_per_sec / self.ast.instrs_per_sec
+    }
+}
+
+/// Times `machine` running `main` repeatedly until the sample window is
+/// statistically useful (at least ~80ms or 64 runs, after one warm-up
+/// run that also pays the decoded engine's one-time lowering).
+fn sample(machine: &mut Machine) -> Result<EngineSample, String> {
+    machine.run("main").map_err(|e| e.to_string())?;
+    let instrs = machine.metrics.instrs;
+    let start = std::time::Instant::now();
+    let mut runs = 0u32;
+    loop {
+        machine.run("main").map_err(|e| e.to_string())?;
+        runs += 1;
+        if runs >= 64 || start.elapsed().as_secs_f64() > 0.08 {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let per_run = secs / f64::from(runs);
+    Ok(EngineSample {
+        secs_per_run: per_run,
+        instrs_per_sec: instrs as f64 / per_run,
+    })
+}
+
+/// Benchmarks every suite kernel under both engines.
+///
+/// # Errors
+///
+/// Returns a message naming the kernel and trap if any run fails —
+/// suite kernels are deterministic, so a trap here is a real bug.
+pub fn bench_kernels() -> Result<Vec<KernelBench>, String> {
+    let mut out = Vec::new();
+    for k in suite::kernels() {
+        let mut m = suite::build_optimized(&k);
+        allocate_variant(&mut m, Variant::PostPassCallGraph, 512);
+        let bench = |engine: Engine| -> Result<(EngineSample, u64, u64), String> {
+            let cfg = MachineConfig {
+                engine,
+                ..MachineConfig::with_ccm(512)
+            };
+            let mut machine = Machine::new(&m, cfg);
+            let s =
+                sample(&mut machine).map_err(|e| format!("{} [{}]: {e}", k.name, engine.name()))?;
+            Ok((s, machine.metrics.instrs, machine.metrics.cycles))
+        };
+        let (ast, instrs, cycles) = bench(Engine::Ast)?;
+        let (decoded, d_instrs, d_cycles) = bench(Engine::Decoded)?;
+        debug_assert_eq!((instrs, cycles), (d_instrs, d_cycles));
+        out.push(KernelBench {
+            name: k.name.to_string(),
+            instrs,
+            cycles,
+            ast,
+            decoded,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the snapshot as JSON: per-kernel engine throughput plus any
+/// stage timings recorded so far this process.
+pub fn render_json(kernels: &[KernelBench], stages: &[(String, f64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"ccm-bench-sim/1\",\n  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        let sep = if i + 1 == kernels.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"instrs\": {}, \"cycles\": {}, \
+             \"ast_secs_per_run\": {:.6e}, \"ast_instrs_per_sec\": {:.4e}, \
+             \"decoded_secs_per_run\": {:.6e}, \"decoded_instrs_per_sec\": {:.4e}, \
+             \"speedup\": {:.2}}}{sep}",
+            k.name,
+            k.instrs,
+            k.cycles,
+            k.ast.secs_per_run,
+            k.ast.instrs_per_sec,
+            k.decoded.secs_per_run,
+            k.decoded.instrs_per_sec,
+            k.speedup(),
+        );
+    }
+    s.push_str("  ],\n  \"stages\": [\n");
+    for (i, (name, secs)) in stages.iter().enumerate() {
+        let sep = if i + 1 == stages.len() { "" } else { "," };
+        let _ = writeln!(s, "    {{\"name\": \"{name}\", \"secs\": {secs:.3}}}{sep}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Runs the kernel benchmark and writes the JSON snapshot to `path`,
+/// including all stage timings recorded so far. Returns the geometric
+/// mean decoded-over-AST speedup for the summary line.
+///
+/// # Errors
+///
+/// Returns an IO error from writing, or a synthesized one naming the
+/// kernel if a simulation trapped.
+pub fn write_bench_json(path: &Path) -> io::Result<f64> {
+    let kernels = bench_kernels().map_err(io::Error::other)?;
+    let json = render_json(&kernels, &exec::recorded_stages());
+    std::fs::write(path, json)?;
+    let gm = kernels.iter().map(|k| k.speedup().ln()).sum::<f64>() / kernels.len() as f64;
+    Ok(gm.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let kernels = vec![KernelBench {
+            name: "k".to_string(),
+            instrs: 1000,
+            cycles: 1500,
+            ast: EngineSample {
+                secs_per_run: 1e-3,
+                instrs_per_sec: 1e6,
+            },
+            decoded: EngineSample {
+                secs_per_run: 2.5e-4,
+                instrs_per_sec: 4e6,
+            },
+        }];
+        let stages = vec![("table1".to_string(), 1.25)];
+        let j = render_json(&kernels, &stages);
+        assert!(j.contains("\"schema\": \"ccm-bench-sim/1\""));
+        assert!(j.contains("\"name\": \"k\""));
+        assert!(j.contains("\"speedup\": 4.00"));
+        assert!(j.contains("\"name\": \"table1\", \"secs\": 1.250"));
+        // Balanced braces/brackets (cheap well-formedness check without
+        // a JSON parser in the workspace).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.chars().filter(|&c| c == open).count(),
+                j.chars().filter(|&c| c == close).count()
+            );
+        }
+    }
+
+    #[test]
+    fn one_kernel_benchmarks_under_both_engines() {
+        let k = suite::kernel("zeroin").expect("kernel exists");
+        let mut m = suite::build_optimized(&k);
+        allocate_variant(&mut m, Variant::PostPassCallGraph, 512);
+        for engine in [Engine::Ast, Engine::Decoded] {
+            let cfg = MachineConfig {
+                engine,
+                ..MachineConfig::with_ccm(512)
+            };
+            let mut machine = Machine::new(&m, cfg);
+            let s = sample(&mut machine).expect("kernel runs");
+            assert!(s.instrs_per_sec > 0.0);
+        }
+    }
+}

@@ -1,0 +1,1692 @@
+//! The pre-decoded execution engine ([`Engine::Decoded`]).
+//!
+//! [`DecodedModule::decode`] lowers a [`Module`] **once** into a single
+//! dense instruction array: blocks flattened in layout order, branch
+//! targets resolved to absolute PC indices, `loadSym` globals resolved
+//! to baked-in addresses, call targets resolved to function indices with
+//! pre-materialized argument/return-register pairings, and register
+//! operands pre-split into raw `u32` indices. `exec_decoded` then
+//! dispatches on a flat PC with no per-step hashing, cloning, or
+//! `(block, idx)` chasing — the hot loop touches only the flat code
+//! array and the current frame's register files.
+//!
+//! **Equivalence contract.** The decoded engine is observationally
+//! identical to the AST interpreter in `machine.rs`: same
+//! [`RetValues`], same [`Metrics`] (cycles, stalls, spill counts,
+//! memory traffic, cache statistics), and the same [`SimError`] on
+//! every trap *at the same instruction count* — including step-limit
+//! timing. Conditions the AST engine discovers at run time (an unknown
+//! global or callee, an executed φ, a block without a terminator) are
+//! decoded into explicit trap pseudo-ops at the PC where the AST engine
+//! would fault, so a module that never executes its bad instruction
+//! behaves identically under both engines. The contract is enforced by
+//! the differential fuzz oracle's dual-engine mode and by
+//! `tests/engine_equivalence.rs`.
+//!
+//! **Segment batching.** Decode additionally precomputes, for every PC,
+//! the fixed accounting of the straight-line *segment* starting there
+//! (see [`Seg`]): instruction count, summed 1-cycle op costs, and spill
+//! tags up to the next branch, call, return, or trap pseudo-op. The
+//! dispatch loop credits a whole segment in one batch and executes its
+//! instructions with no per-step bookkeeping, falling back to exact
+//! per-instruction stepping — identical to the AST loop body — for any
+//! segment where the step budget could be crossed, a fault point is
+//! armed, or the pipelined-load model is on. The batch is
+//! observationally invisible: on a successful run every entered segment
+//! completes, so all metric totals are exact, and a trapped run
+//! surfaces the identical [`SimError`] while its partial [`Metrics`]
+//! are unspecified (no caller observes metrics after a trap; the AST
+//! engine's partial totals are equally arbitrary mid-flight).
+//!
+//! [`Engine::Decoded`]: crate::Engine::Decoded
+
+use std::collections::HashMap;
+
+use iloc::{CmpKind, FBinKind, IBinKind, Module, Op, Reg, RegClass, SpillKind};
+
+use crate::machine::{cmp, fcmp, ibin, Machine, RetValues, SimError};
+
+/// A register operand that kept its class through decoding (return
+/// values, call returns, φ scans) — everything else pre-splits into a
+/// raw index because the opcode fixes the class.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct DReg {
+    /// `true` = GPR, `false` = FPR.
+    pub gpr: bool,
+    /// Raw index into the per-frame register file.
+    pub idx: u32,
+}
+
+impl DReg {
+    fn of(r: Reg) -> DReg {
+        DReg {
+            gpr: r.class() == RegClass::Gpr,
+            idx: r.index(),
+        }
+    }
+}
+
+/// A decoded call site: callee resolved to a function index, argument
+/// bindings pre-paired (k-th GPR argument → k-th GPR parameter, per the
+/// AST engine's binding rule), return registers pre-materialized.
+#[derive(Debug)]
+pub(crate) struct DCall {
+    /// Index into [`DecodedModule::funcs`].
+    pub callee: u32,
+    /// `(caller GPR source, callee GPR parameter)` pairs.
+    pub gpr_args: Box<[(u32, u32)]>,
+    /// `(caller FPR source, callee FPR parameter)` pairs.
+    pub fpr_args: Box<[(u32, u32)]>,
+    /// Caller registers receiving return values, in `rets` order.
+    pub rets: Box<[DReg]>,
+}
+
+/// Per-function metadata the flat code needs at call boundaries.
+#[derive(Debug)]
+pub(crate) struct FuncMeta {
+    /// Absolute PC of the function's entry block.
+    pub entry_pc: u32,
+    /// GPR file length (max index + 1).
+    pub gpr_len: u32,
+    /// FPR file length (max index + 1).
+    pub fpr_len: u32,
+    /// Activation-record size in bytes (pre-aligned by the frame).
+    pub frame_size: i64,
+}
+
+/// Spill provenance, packed to a byte for the flat code array.
+pub(crate) const SPILL_NONE: u8 = 0;
+pub(crate) const SPILL_STORE: u8 = 1;
+pub(crate) const SPILL_RESTORE: u8 = 2;
+
+/// A decoded operation. Register fields are raw indices (class implied
+/// by the opcode), branch targets are absolute PCs into the module-wide
+/// flat code array, and symbols/callees are resolved.
+#[derive(Debug)]
+pub(crate) enum DOp {
+    /// `loadI` — integer constant.
+    LoadI { imm: i64, dst: u32 },
+    /// `loadF` — float constant.
+    LoadF { imm: f64, dst: u32 },
+    /// `loadSym` with the global's address baked in at decode time.
+    LoadAddr { addr: i64, dst: u32 },
+    /// Integer three-address arithmetic.
+    IBin {
+        kind: IBinKind,
+        lhs: u32,
+        rhs: u32,
+        dst: u32,
+    },
+    /// Integer register-immediate arithmetic.
+    IBinI {
+        kind: IBinKind,
+        lhs: u32,
+        imm: i64,
+        dst: u32,
+    },
+    /// Float three-address arithmetic.
+    FBin {
+        kind: FBinKind,
+        lhs: u32,
+        rhs: u32,
+        dst: u32,
+    },
+    /// Integer compare → GPR 0/1.
+    ICmp {
+        kind: CmpKind,
+        lhs: u32,
+        rhs: u32,
+        dst: u32,
+    },
+    /// Float compare → GPR 0/1.
+    FCmp {
+        kind: CmpKind,
+        lhs: u32,
+        rhs: u32,
+        dst: u32,
+    },
+    /// GPR copy.
+    I2I { src: u32, dst: u32 },
+    /// FPR copy.
+    F2F { src: u32, dst: u32 },
+    /// GPR → FPR conversion.
+    I2F { src: u32, dst: u32 },
+    /// FPR → GPR truncation.
+    F2I { src: u32, dst: u32 },
+    /// Integer main-memory load (`load` folded with `loadAI`, `off=0`).
+    Load { addr: u32, off: i64, dst: u32 },
+    /// Float main-memory load.
+    FLoad { addr: u32, off: i64, dst: u32 },
+    /// Integer main-memory store.
+    Store { val: u32, addr: u32, off: i64 },
+    /// Float main-memory store.
+    FStore { val: u32, addr: u32, off: i64 },
+    /// Integer CCM spill.
+    CcmStore { val: u32, off: u32 },
+    /// Integer CCM restore.
+    CcmLoad { off: u32, dst: u32 },
+    /// Float CCM spill.
+    CcmFStore { val: u32, off: u32 },
+    /// Float CCM restore.
+    CcmFLoad { off: u32, dst: u32 },
+    /// Unconditional branch to an absolute PC.
+    Jump { target: u32 },
+    /// Conditional branch to absolute PCs.
+    Cbr {
+        cond: u32,
+        taken: u32,
+        not_taken: u32,
+    },
+    /// Resolved call; index into [`DecodedModule::calls`].
+    Call { call: u32 },
+    /// Return; index into [`DecodedModule::reg_lists`] for the value
+    /// registers (classes preserved, order significant).
+    Ret { vals: u32 },
+    /// `loadSym` of an undeclared global: traps as
+    /// [`SimError::UnknownGlobal`] when *executed*, exactly where the
+    /// AST engine does. `dst` keeps the pipelined-model def scan exact.
+    TrapUnknownGlobal { sym: u32, dst: u32 },
+    /// Call of an undeclared function: traps as
+    /// [`SimError::UnknownFunction`] when executed. `regs` indexes the
+    /// arg/ret scan list for the pipelined model.
+    TrapUnknownFunction { sym: u32, regs: u32 },
+    /// An executed φ: traps as [`SimError::PhiEncountered`]. `regs`
+    /// indexes the φ's use/def scan list.
+    TrapPhi { regs: u32 },
+    /// Appended to any block whose last instruction is not a
+    /// terminator: traps as [`SimError::MissingTerminator`] exactly
+    /// where the AST engine's instruction fetch fails.
+    TrapMissingTerminator,
+    /// No operation.
+    Nop,
+}
+
+/// A decoded instruction: operation plus packed spill tag.
+#[derive(Debug)]
+pub(crate) struct DInstr {
+    pub op: DOp,
+    pub spill: u8,
+}
+
+/// Precomputed accounting for the straight-line *segment* starting at a
+/// PC: every instruction from that PC up to and including the next
+/// control transfer (branch, call, return, or trap pseudo-op). Because
+/// a segment has no internal control flow, the interpreter can credit
+/// its entire fixed accounting — instruction count, 1-cycle op costs,
+/// spill tags — in one batch at segment entry and then dispatch the
+/// instructions with no per-step bookkeeping at all. Dynamic costs
+/// (memory/CCM latencies, cache statistics, `calls`) stay in the arms.
+///
+/// Segments end at calls (not just block terminators) so that at every
+/// segment entry `Metrics::instrs` is *exact*: a pre-credited segment
+/// either runs to its end before the next entry or the whole execution
+/// ends in a trap (and post-trap metrics are unobservable — see the
+/// module docs). That exactness is what lets the step-limit gate
+/// (`instrs + len > max_steps` → precise path) reproduce the AST
+/// engine's per-instruction `StepLimit` timing bit for bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Seg {
+    /// Instructions in the segment, trap pads included.
+    pub len: u32,
+    /// Summed fixed 1-cycle costs (memory ops contribute 0 here).
+    pub cycles: u32,
+    /// Spill-store tags in the segment.
+    pub stores: u32,
+    /// Spill-restore tags in the segment.
+    pub restores: u32,
+}
+
+/// Whether `op` ends a segment: control leaves the straight line (or
+/// the program ends in a trap) after it executes.
+fn ends_segment(op: &DOp) -> bool {
+    matches!(
+        op,
+        DOp::Jump { .. }
+            | DOp::Cbr { .. }
+            | DOp::Call { .. }
+            | DOp::Ret { .. }
+            | DOp::TrapUnknownGlobal { .. }
+            | DOp::TrapUnknownFunction { .. }
+            | DOp::TrapPhi { .. }
+            | DOp::TrapMissingTerminator
+    )
+}
+
+/// The fixed cycle cost the AST engine charges for `op` itself,
+/// excluding dynamic memory/CCM latencies (charged in the arms).
+fn fixed_cycles(op: &DOp) -> u32 {
+    match op {
+        DOp::Load { .. }
+        | DOp::FLoad { .. }
+        | DOp::Store { .. }
+        | DOp::FStore { .. }
+        | DOp::CcmStore { .. }
+        | DOp::CcmLoad { .. }
+        | DOp::CcmFStore { .. }
+        | DOp::CcmFLoad { .. }
+        | DOp::TrapPhi { .. }
+        | DOp::TrapMissingTerminator => 0,
+        _ => 1,
+    }
+}
+
+/// The one-time lowering of a [`Module`] for flat-PC dispatch.
+///
+/// Built by [`DecodedModule::decode`]; owned (and cached across runs) by
+/// [`Machine`]. Decoding never fails: unresolvable constructs become
+/// trap pseudo-ops that fault at execution time, preserving the AST
+/// engine's lazy-error semantics.
+#[derive(Debug)]
+pub struct DecodedModule {
+    pub(crate) code: Vec<DInstr>,
+    pub(crate) funcs: Vec<FuncMeta>,
+    pub(crate) func_by_name: HashMap<String, u32>,
+    pub(crate) calls: Vec<DCall>,
+    /// Class-preserving register lists (return values, φ scans,
+    /// unknown-call scans).
+    pub(crate) reg_lists: Vec<Box<[DReg]>>,
+    /// Names for trap messages (unknown globals/functions).
+    pub(crate) syms: Vec<String>,
+    /// Per-PC segment accounting, parallel to `code` (see [`Seg`]).
+    pub(crate) segs: Vec<Seg>,
+}
+
+impl DecodedModule {
+    /// Lowers `module` against the machine's global layout (symbol →
+    /// base address, as computed by [`Machine::new`]).
+    pub fn decode(module: &Module, globals: &HashMap<String, i64>) -> DecodedModule {
+        let findex = module.function_indices();
+        let mut dec = DecodedModule {
+            code: Vec::new(),
+            funcs: Vec::with_capacity(module.functions.len()),
+            func_by_name: findex
+                .iter()
+                .map(|(&n, &i)| (n.to_string(), i as u32))
+                .collect(),
+            calls: Vec::new(),
+            reg_lists: Vec::new(),
+            syms: Vec::new(),
+            segs: Vec::new(),
+        };
+
+        // Pass 1: lay out every function's blocks in order, recording
+        // the absolute start PC of each block. A block whose last
+        // instruction is not a terminator gets one extra trap slot.
+        let mut block_pcs: Vec<Vec<u32>> = Vec::with_capacity(module.functions.len());
+        let mut pc: u32 = 0;
+        for f in &module.functions {
+            let mut starts = Vec::with_capacity(f.blocks.len());
+            let entry_pc = pc;
+            for b in &f.blocks {
+                starts.push(pc);
+                let falls_through = b.instrs.last().is_none_or(|i| !i.op.is_terminator());
+                pc += b.instrs.len() as u32 + u32::from(falls_through);
+            }
+            let mut maxg = 0;
+            let mut maxf = 0;
+            f.for_each_reg(|r| match r.class() {
+                RegClass::Gpr => maxg = maxg.max(r.index()),
+                RegClass::Fpr => maxf = maxf.max(r.index()),
+            });
+            dec.funcs.push(FuncMeta {
+                entry_pc,
+                gpr_len: maxg + 1,
+                fpr_len: maxf + 1,
+                frame_size: f.frame.frame_size() as i64,
+            });
+            block_pcs.push(starts);
+        }
+
+        // Pass 2: emit, resolving branches through `block_pcs`,
+        // globals through `globals`, and callees through `findex`.
+        dec.code.reserve(pc as usize);
+        for (fi, f) in module.functions.iter().enumerate() {
+            let starts = &block_pcs[fi];
+            for b in &f.blocks {
+                for instr in &b.instrs {
+                    let spill = match instr.spill {
+                        SpillKind::None => SPILL_NONE,
+                        SpillKind::Store(_) => SPILL_STORE,
+                        SpillKind::Restore(_) => SPILL_RESTORE,
+                    };
+                    let op = dec.decode_op(&instr.op, starts, globals, &findex, module);
+                    dec.code.push(DInstr { op, spill });
+                }
+                let falls_through = b.instrs.last().is_none_or(|i| !i.op.is_terminator());
+                if falls_through {
+                    dec.code.push(DInstr {
+                        op: DOp::TrapMissingTerminator,
+                        spill: SPILL_NONE,
+                    });
+                }
+            }
+        }
+        debug_assert_eq!(dec.code.len(), pc as usize);
+
+        // Pass 3: per-PC segment accounting, by backward suffix scan.
+        // Every block ends in a terminator or a trap pad (both segment
+        // enders), so a non-ender always has a successor suffix to
+        // extend — the scan never reads past the array.
+        dec.segs = vec![Seg::default(); dec.code.len()];
+        for i in (0..dec.code.len()).rev() {
+            let instr = &dec.code[i];
+            let mut s = Seg {
+                len: 1,
+                cycles: fixed_cycles(&instr.op),
+                stores: u32::from(instr.spill == SPILL_STORE),
+                restores: u32::from(instr.spill == SPILL_RESTORE),
+            };
+            if !ends_segment(&instr.op) {
+                let next = dec.segs[i + 1];
+                s.len += next.len;
+                s.cycles += next.cycles;
+                s.stores += next.stores;
+                s.restores += next.restores;
+            }
+            dec.segs[i] = s;
+        }
+        dec
+    }
+
+    fn intern_sym(&mut self, s: &str) -> u32 {
+        let i = self.syms.len() as u32;
+        self.syms.push(s.to_string());
+        i
+    }
+
+    fn push_reg_list(&mut self, regs: Box<[DReg]>) -> u32 {
+        let i = self.reg_lists.len() as u32;
+        self.reg_lists.push(regs);
+        i
+    }
+
+    fn decode_op(
+        &mut self,
+        op: &Op,
+        starts: &[u32],
+        globals: &HashMap<String, i64>,
+        findex: &HashMap<&str, usize>,
+        module: &Module,
+    ) -> DOp {
+        let x = |r: Reg| r.index();
+        match op {
+            Op::LoadI { imm, dst } => DOp::LoadI {
+                imm: *imm,
+                dst: x(*dst),
+            },
+            Op::LoadF { imm, dst } => DOp::LoadF {
+                imm: *imm,
+                dst: x(*dst),
+            },
+            Op::LoadSym { sym, dst } => match globals.get(sym) {
+                Some(&addr) => DOp::LoadAddr { addr, dst: x(*dst) },
+                None => DOp::TrapUnknownGlobal {
+                    sym: self.intern_sym(sym),
+                    dst: x(*dst),
+                },
+            },
+            Op::IBin {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => DOp::IBin {
+                kind: *kind,
+                lhs: x(*lhs),
+                rhs: x(*rhs),
+                dst: x(*dst),
+            },
+            Op::IBinI {
+                kind,
+                lhs,
+                imm,
+                dst,
+            } => DOp::IBinI {
+                kind: *kind,
+                lhs: x(*lhs),
+                imm: *imm,
+                dst: x(*dst),
+            },
+            Op::FBin {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => DOp::FBin {
+                kind: *kind,
+                lhs: x(*lhs),
+                rhs: x(*rhs),
+                dst: x(*dst),
+            },
+            Op::ICmp {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => DOp::ICmp {
+                kind: *kind,
+                lhs: x(*lhs),
+                rhs: x(*rhs),
+                dst: x(*dst),
+            },
+            Op::FCmp {
+                kind,
+                lhs,
+                rhs,
+                dst,
+            } => DOp::FCmp {
+                kind: *kind,
+                lhs: x(*lhs),
+                rhs: x(*rhs),
+                dst: x(*dst),
+            },
+            Op::I2I { src, dst } => DOp::I2I {
+                src: x(*src),
+                dst: x(*dst),
+            },
+            Op::F2F { src, dst } => DOp::F2F {
+                src: x(*src),
+                dst: x(*dst),
+            },
+            Op::I2F { src, dst } => DOp::I2F {
+                src: x(*src),
+                dst: x(*dst),
+            },
+            Op::F2I { src, dst } => DOp::F2I {
+                src: x(*src),
+                dst: x(*dst),
+            },
+            Op::Load { addr, dst } => DOp::Load {
+                addr: x(*addr),
+                off: 0,
+                dst: x(*dst),
+            },
+            Op::LoadAI { addr, off, dst } => DOp::Load {
+                addr: x(*addr),
+                off: *off,
+                dst: x(*dst),
+            },
+            Op::FLoad { addr, dst } => DOp::FLoad {
+                addr: x(*addr),
+                off: 0,
+                dst: x(*dst),
+            },
+            Op::FLoadAI { addr, off, dst } => DOp::FLoad {
+                addr: x(*addr),
+                off: *off,
+                dst: x(*dst),
+            },
+            Op::Store { val, addr } => DOp::Store {
+                val: x(*val),
+                addr: x(*addr),
+                off: 0,
+            },
+            Op::StoreAI { val, addr, off } => DOp::Store {
+                val: x(*val),
+                addr: x(*addr),
+                off: *off,
+            },
+            Op::FStore { val, addr } => DOp::FStore {
+                val: x(*val),
+                addr: x(*addr),
+                off: 0,
+            },
+            Op::FStoreAI { val, addr, off } => DOp::FStore {
+                val: x(*val),
+                addr: x(*addr),
+                off: *off,
+            },
+            Op::CcmStore { val, off } => DOp::CcmStore {
+                val: x(*val),
+                off: *off,
+            },
+            Op::CcmLoad { off, dst } => DOp::CcmLoad {
+                off: *off,
+                dst: x(*dst),
+            },
+            Op::CcmFStore { val, off } => DOp::CcmFStore {
+                val: x(*val),
+                off: *off,
+            },
+            Op::CcmFLoad { off, dst } => DOp::CcmFLoad {
+                off: *off,
+                dst: x(*dst),
+            },
+            Op::Jump { target } => DOp::Jump {
+                target: starts[target.index()],
+            },
+            Op::Cbr {
+                cond,
+                taken,
+                not_taken,
+            } => DOp::Cbr {
+                cond: x(*cond),
+                taken: starts[taken.index()],
+                not_taken: starts[not_taken.index()],
+            },
+            Op::Call { callee, args, rets } => match findex.get(callee.as_str()) {
+                Some(&ci) => {
+                    // Pre-pair arguments with parameters per class, the
+                    // AST engine's positional-per-class binding rule.
+                    let params = &module.functions[ci].params;
+                    let split = |class: RegClass| -> Box<[(u32, u32)]> {
+                        args.iter()
+                            .filter(|a| a.class() == class)
+                            .zip(params.iter().filter(|p| p.class() == class))
+                            .map(|(a, p)| (a.index(), p.index()))
+                            .collect()
+                    };
+                    let call = DCall {
+                        callee: ci as u32,
+                        gpr_args: split(RegClass::Gpr),
+                        fpr_args: split(RegClass::Fpr),
+                        rets: rets.iter().map(|&r| DReg::of(r)).collect(),
+                    };
+                    let i = self.calls.len() as u32;
+                    self.calls.push(call);
+                    DOp::Call { call: i }
+                }
+                None => {
+                    let regs: Box<[DReg]> = args
+                        .iter()
+                        .chain(rets.iter())
+                        .map(|&r| DReg::of(r))
+                        .collect();
+                    DOp::TrapUnknownFunction {
+                        sym: self.intern_sym(callee),
+                        regs: self.push_reg_list(regs),
+                    }
+                }
+            },
+            Op::Ret { vals } => DOp::Ret {
+                vals: {
+                    let list: Box<[DReg]> = vals.iter().map(|&r| DReg::of(r)).collect();
+                    self.push_reg_list(list)
+                },
+            },
+            Op::Phi { dst, args } => {
+                // Uses (φ args) then the def, matching the AST engine's
+                // pipelined-model scan order (max is order-insensitive,
+                // but keep the exact set).
+                let regs: Box<[DReg]> = args
+                    .iter()
+                    .map(|&(_, r)| DReg::of(r))
+                    .chain(std::iter::once(DReg::of(*dst)))
+                    .collect();
+                DOp::TrapPhi {
+                    regs: self.push_reg_list(regs),
+                }
+            }
+            Op::Nop => DOp::Nop,
+        }
+    }
+
+    /// Number of decoded slots (flattened instructions + trap pads).
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the module decoded to no code at all.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+/// An activation record in the decoded engine. No `ret_dsts` — return
+/// destinations live in the caller's decoded call, found at
+/// `code[caller.pc - 1]` when the callee returns.
+struct DFrame {
+    func: u32,
+    pc: u32,
+    gpr: Vec<i64>,
+    fpr: Vec<f64>,
+    gpr_ready: Vec<u64>,
+    fpr_ready: Vec<u64>,
+    saved_sp: i64,
+}
+
+/// Mutable interpreter state that lives *outside* [`Machine`], so the
+/// hot loop can hold `&mut ExecState` and `&mut Machine` at once: the
+/// active frame (kept out of the callstack vector — no `last_mut()`
+/// per step), the suspended callers, the recycled-frame pool, and the
+/// stack pointer.
+struct ExecState {
+    cur: DFrame,
+    frames: Vec<DFrame>,
+    pool: Vec<DFrame>,
+    sp: i64,
+}
+
+impl ExecState {
+    /// Current call depth: suspended callers plus the active frame.
+    fn depth(&self) -> u64 {
+        self.frames.len() as u64 + 1
+    }
+}
+
+/// Builds (or recycles from the pool) an activation record for `func`,
+/// bumping the stack pointer.
+fn make_frame(
+    dec: &DecodedModule,
+    pool: &mut Vec<DFrame>,
+    sp: &mut i64,
+    func: u32,
+    globals_end: i64,
+    pipelined: bool,
+) -> Result<DFrame, SimError> {
+    let meta = &dec.funcs[func as usize];
+    let saved_sp = *sp;
+    let new_sp = (*sp - meta.frame_size) & !7;
+    if new_sp < globals_end {
+        return Err(SimError::StackOverflow);
+    }
+    *sp = new_sp;
+    let mut f = pool.pop().unwrap_or(DFrame {
+        func: 0,
+        pc: 0,
+        gpr: Vec::new(),
+        fpr: Vec::new(),
+        gpr_ready: Vec::new(),
+        fpr_ready: Vec::new(),
+        saved_sp: 0,
+    });
+    f.func = func;
+    f.pc = meta.entry_pc;
+    f.saved_sp = saved_sp;
+    f.gpr.clear();
+    f.gpr.resize(meta.gpr_len as usize, 0);
+    f.fpr.clear();
+    f.fpr.resize(meta.fpr_len as usize, 0.0);
+    if pipelined {
+        f.gpr_ready.clear();
+        f.gpr_ready.resize(meta.gpr_len as usize, 0);
+        f.fpr_ready.clear();
+        f.fpr_ready.resize(meta.fpr_len as usize, 0);
+    }
+    f.gpr[Reg::RARP.index() as usize] = new_sp;
+    Ok(f)
+}
+
+impl<'m> Machine<'m> {
+    /// The flat-PC dispatch loop, segment at a time.
+    ///
+    /// Each iteration looks up the [`Seg`] starting at the current PC
+    /// and picks a path:
+    ///
+    /// * **Fast** (the common case): the segment's fixed accounting is
+    ///   credited in one batch up front and [`Machine::seg_run`] then
+    ///   dispatches its instructions with zero per-step bookkeeping.
+    ///   Taken only when the step budget cannot be crossed inside the
+    ///   segment, no fault point is armed, and the pipelined-load model
+    ///   is off — so the batch is observationally invisible.
+    /// * **Precise**: per-instruction accounting identical to the AST
+    ///   engine (step-limit check and `sim.budget` fault point per
+    ///   instruction, readiness stalls, per-op cycle charges). Chosen
+    ///   per segment, so execution degrades to exact stepping just for
+    ///   the stretch that needs it and pops back to batching after.
+    ///
+    /// Segment entries are exactly the PCs reached by a control
+    /// transfer (block starts, call entries, post-call resume points),
+    /// and `Metrics::instrs` is exact at every entry, which makes the
+    /// two paths agree on every observable (see the module docs).
+    pub(crate) fn exec_decoded(
+        &mut self,
+        dec: &DecodedModule,
+        entry: &str,
+    ) -> Result<RetValues, SimError> {
+        let entry_idx = *dec
+            .func_by_name
+            .get(entry)
+            .ok_or_else(|| SimError::UnknownFunction(entry.to_string()))?;
+
+        let pipelined = self.cfg.load_delay.is_some();
+        let mut sp: i64 = self.cfg.mem_size as i64;
+        let mut pool: Vec<DFrame> = Vec::new();
+        let cur = make_frame(
+            dec,
+            &mut pool,
+            &mut sp,
+            entry_idx,
+            self.globals_end,
+            pipelined,
+        )?;
+        let mut st = ExecState {
+            cur,
+            frames: Vec::new(),
+            pool,
+            sp,
+        };
+        // Call depth is tracked at push time (it only changes there);
+        // on any successful run the result matches the AST engine's
+        // per-step sampling exactly.
+        self.metrics.max_depth = self.metrics.max_depth.max(1);
+
+        loop {
+            let seg = dec.segs[st.cur.pc as usize];
+            let fast = !pipelined
+                && self.metrics.instrs + u64::from(seg.len) <= self.cfg.max_steps
+                && !inject::active();
+            let flow = if fast {
+                self.metrics.instrs += u64::from(seg.len);
+                self.metrics.cycles += u64::from(seg.cycles);
+                self.metrics.spill_stores += u64::from(seg.stores);
+                self.metrics.spill_restores += u64::from(seg.restores);
+                self.seg_run::<false>(dec, &mut st)?
+            } else {
+                self.seg_run::<true>(dec, &mut st)?
+            };
+            if let Some(out) = flow {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// Executes one segment: instructions from the current PC through
+    /// the next control transfer. Returns `Ok(None)` when control
+    /// transferred (back to the dispatch loop for the next segment) and
+    /// `Ok(Some(values))` when the entry function returned.
+    ///
+    /// `PRECISE = false` assumes the caller batch-credited the
+    /// segment's fixed accounting (instrs, 1-cycle costs, spill tags)
+    /// and skips all per-step bookkeeping; `PRECISE = true` mirrors the
+    /// AST engine's per-instruction loop body arm for arm.
+    fn seg_run<const PRECISE: bool>(
+        &mut self,
+        dec: &DecodedModule,
+        st: &mut ExecState,
+    ) -> Result<Option<RetValues>, SimError> {
+        loop {
+            if PRECISE {
+                self.metrics.instrs += 1;
+                if self.metrics.instrs > self.cfg.max_steps || inject::faultpoint!("sim.budget") {
+                    return Err(SimError::StepLimit);
+                }
+            }
+
+            let instr = &dec.code[st.cur.pc as usize];
+            st.cur.pc += 1;
+
+            if PRECISE {
+                match instr.spill {
+                    SPILL_STORE => self.metrics.spill_stores += 1,
+                    SPILL_RESTORE => self.metrics.spill_restores += 1,
+                    _ => {}
+                }
+                // Pipelined-load model: stall until every register this
+                // instruction touches is ready.
+                if self.cfg.load_delay.is_some() {
+                    let ready = ready_time(&instr.op, dec, &st.cur);
+                    if ready > self.metrics.cycles {
+                        self.metrics.stall_cycles += ready - self.metrics.cycles;
+                        self.metrics.cycles = ready;
+                    }
+                }
+            }
+
+            match &instr.op {
+                // ---- constants / moves / arithmetic: 1 cycle -------------
+                DOp::LoadI { imm, dst } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    st.cur.gpr[*dst as usize] = *imm as i32 as i64;
+                }
+                DOp::LoadF { imm, dst } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    st.cur.fpr[*dst as usize] = *imm;
+                }
+                DOp::LoadAddr { addr, dst } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    st.cur.gpr[*dst as usize] = *addr;
+                }
+                DOp::IBin {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    let a = st.cur.gpr[*lhs as usize];
+                    let b = st.cur.gpr[*rhs as usize];
+                    st.cur.gpr[*dst as usize] = ibin(*kind, a, b)?;
+                }
+                DOp::IBinI {
+                    kind,
+                    lhs,
+                    imm,
+                    dst,
+                } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    let a = st.cur.gpr[*lhs as usize];
+                    st.cur.gpr[*dst as usize] = ibin(*kind, a, *imm)?;
+                }
+                DOp::FBin {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    let a = st.cur.fpr[*lhs as usize];
+                    let b = st.cur.fpr[*rhs as usize];
+                    st.cur.fpr[*dst as usize] = match kind {
+                        FBinKind::Add => a + b,
+                        FBinKind::Sub => a - b,
+                        FBinKind::Mult => a * b,
+                        FBinKind::Div => a / b,
+                    };
+                }
+                DOp::ICmp {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    let a = st.cur.gpr[*lhs as usize];
+                    let b = st.cur.gpr[*rhs as usize];
+                    st.cur.gpr[*dst as usize] = cmp(*kind, &a, &b);
+                }
+                DOp::FCmp {
+                    kind,
+                    lhs,
+                    rhs,
+                    dst,
+                } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    let a = st.cur.fpr[*lhs as usize];
+                    let b = st.cur.fpr[*rhs as usize];
+                    st.cur.gpr[*dst as usize] = fcmp(*kind, a, b);
+                }
+                DOp::I2I { src, dst } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    st.cur.gpr[*dst as usize] = st.cur.gpr[*src as usize];
+                }
+                DOp::F2F { src, dst } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    st.cur.fpr[*dst as usize] = st.cur.fpr[*src as usize];
+                }
+                DOp::I2F { src, dst } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    st.cur.fpr[*dst as usize] = st.cur.gpr[*src as usize] as f64;
+                }
+                DOp::F2I { src, dst } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    st.cur.gpr[*dst as usize] = st.cur.fpr[*src as usize] as i32 as i64;
+                }
+
+                // ---- main memory: mem_latency (or cache) ----------------
+                DOp::Load { addr, off, dst } => {
+                    let a = st.cur.gpr[*addr as usize] + off;
+                    let v = self.read_i32(a)?;
+                    let lat = self.mem_access(a, false);
+                    st.cur.gpr[*dst as usize] = v as i64;
+                    let lat = match self.cfg.load_delay {
+                        Some(d) => {
+                            st.cur.gpr_ready[*dst as usize] = self.metrics.cycles + 1 + d;
+                            1
+                        }
+                        None => lat,
+                    };
+                    self.metrics.cycles += lat;
+                    self.metrics.mem_op_cycles += lat;
+                    self.metrics.main_mem_ops += 1;
+                }
+                DOp::FLoad { addr, off, dst } => {
+                    let a = st.cur.gpr[*addr as usize] + off;
+                    let v = self.read_f64(a)?;
+                    let lat = self.mem_access(a, false);
+                    st.cur.fpr[*dst as usize] = v;
+                    let lat = match self.cfg.load_delay {
+                        Some(d) => {
+                            st.cur.fpr_ready[*dst as usize] = self.metrics.cycles + 1 + d;
+                            1
+                        }
+                        None => lat,
+                    };
+                    self.metrics.cycles += lat;
+                    self.metrics.mem_op_cycles += lat;
+                    self.metrics.main_mem_ops += 1;
+                }
+                DOp::Store { val, addr, off } => {
+                    let a = st.cur.gpr[*addr as usize] + off;
+                    let v = st.cur.gpr[*val as usize] as i32;
+                    self.write_i32(a, v)?;
+                    let lat = match self.cfg.load_delay {
+                        Some(_) => 1,
+                        None => self.mem_access(a, true),
+                    };
+                    self.metrics.cycles += lat;
+                    self.metrics.mem_op_cycles += lat;
+                    self.metrics.main_mem_ops += 1;
+                }
+                DOp::FStore { val, addr, off } => {
+                    let a = st.cur.gpr[*addr as usize] + off;
+                    let v = st.cur.fpr[*val as usize];
+                    self.write_f64(a, v)?;
+                    let lat = match self.cfg.load_delay {
+                        Some(_) => 1,
+                        None => self.mem_access(a, true),
+                    };
+                    self.metrics.cycles += lat;
+                    self.metrics.mem_op_cycles += lat;
+                    self.metrics.main_mem_ops += 1;
+                }
+
+                // ---- CCM: ccm_latency, disjoint address space -----------
+                DOp::CcmStore { val, off } => {
+                    let v = st.cur.gpr[*val as usize] as i32;
+                    self.ccm_check(*off, 4)?;
+                    self.ccm[*off as usize..*off as usize + 4].copy_from_slice(&v.to_le_bytes());
+                    self.metrics.cycles += self.cfg.ccm_latency;
+                    self.metrics.mem_op_cycles += self.cfg.ccm_latency;
+                    self.metrics.ccm_ops += 1;
+                }
+                DOp::CcmLoad { off, dst } => {
+                    self.ccm_check(*off, 4)?;
+                    let v = i32::from_le_bytes(
+                        self.ccm[*off as usize..*off as usize + 4]
+                            .try_into()
+                            .expect("4 bytes"),
+                    );
+                    st.cur.gpr[*dst as usize] = v as i64;
+                    self.metrics.cycles += self.cfg.ccm_latency;
+                    self.metrics.mem_op_cycles += self.cfg.ccm_latency;
+                    self.metrics.ccm_ops += 1;
+                }
+                DOp::CcmFStore { val, off } => {
+                    let v = st.cur.fpr[*val as usize];
+                    self.ccm_check(*off, 8)?;
+                    self.ccm[*off as usize..*off as usize + 8].copy_from_slice(&v.to_le_bytes());
+                    self.metrics.cycles += self.cfg.ccm_latency;
+                    self.metrics.mem_op_cycles += self.cfg.ccm_latency;
+                    self.metrics.ccm_ops += 1;
+                }
+                DOp::CcmFLoad { off, dst } => {
+                    self.ccm_check(*off, 8)?;
+                    let v = f64::from_le_bytes(
+                        self.ccm[*off as usize..*off as usize + 8]
+                            .try_into()
+                            .expect("8 bytes"),
+                    );
+                    st.cur.fpr[*dst as usize] = v;
+                    self.metrics.cycles += self.cfg.ccm_latency;
+                    self.metrics.mem_op_cycles += self.cfg.ccm_latency;
+                    self.metrics.ccm_ops += 1;
+                }
+
+                // ---- control flow: every arm ends the segment -----------
+                DOp::Jump { target } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    st.cur.pc = *target;
+                    return Ok(None);
+                }
+                DOp::Cbr {
+                    cond,
+                    taken,
+                    not_taken,
+                } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    let c = st.cur.gpr[*cond as usize];
+                    st.cur.pc = if c != 0 { *taken } else { *not_taken };
+                    return Ok(None);
+                }
+                DOp::Call { call } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    self.metrics.calls += 1;
+                    let c = &dec.calls[*call as usize];
+                    let mut new = make_frame(
+                        dec,
+                        &mut st.pool,
+                        &mut st.sp,
+                        c.callee,
+                        self.globals_end,
+                        self.cfg.load_delay.is_some(),
+                    )?;
+                    for &(src, dst) in c.gpr_args.iter() {
+                        new.gpr[dst as usize] = st.cur.gpr[src as usize];
+                    }
+                    for &(src, dst) in c.fpr_args.iter() {
+                        new.fpr[dst as usize] = st.cur.fpr[src as usize];
+                    }
+                    let caller = std::mem::replace(&mut st.cur, new);
+                    st.frames.push(caller);
+                    self.metrics.max_depth = self.metrics.max_depth.max(st.depth());
+                    return Ok(None);
+                }
+                DOp::Ret { vals } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    let vals = &dec.reg_lists[*vals as usize];
+                    st.sp = st.cur.saved_sp;
+                    match st.frames.pop() {
+                        Some(caller) => {
+                            let done = std::mem::replace(&mut st.cur, caller);
+                            // The caller's PC already moved past its
+                            // call, so the decoded call is the slot
+                            // just behind.
+                            let DOp::Call { call } = dec.code[st.cur.pc as usize - 1].op else {
+                                unreachable!("frame above entry implies a decoded call")
+                            };
+                            let rets = &dec.calls[call as usize].rets;
+                            for (v, dst) in vals.iter().zip(rets.iter()) {
+                                if v.gpr {
+                                    st.cur.gpr[dst.idx as usize] = done.gpr[v.idx as usize];
+                                } else {
+                                    st.cur.fpr[dst.idx as usize] = done.fpr[v.idx as usize];
+                                }
+                            }
+                            st.pool.push(done);
+                            return Ok(None);
+                        }
+                        None => {
+                            // Entry function returned: collect values.
+                            let mut out = RetValues::default();
+                            for v in vals.iter() {
+                                if v.gpr {
+                                    out.ints.push(st.cur.gpr[v.idx as usize]);
+                                } else {
+                                    out.floats.push(st.cur.fpr[v.idx as usize]);
+                                }
+                            }
+                            if let Some(c) = &self.cache {
+                                self.metrics.cache = c.stats;
+                            }
+                            return Ok(Some(out));
+                        }
+                    }
+                }
+
+                // ---- decoded trap pseudo-ops ----------------------------
+                DOp::TrapUnknownGlobal { sym, .. } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    return Err(SimError::UnknownGlobal(dec.syms[*sym as usize].clone()));
+                }
+                DOp::TrapUnknownFunction { sym, .. } => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                    self.metrics.calls += 1;
+                    return Err(SimError::UnknownFunction(dec.syms[*sym as usize].clone()));
+                }
+                DOp::TrapPhi { .. } => return Err(SimError::PhiEncountered),
+                DOp::TrapMissingTerminator => return Err(SimError::MissingTerminator),
+                DOp::Nop => {
+                    if PRECISE {
+                        self.metrics.cycles += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The pipelined model's readiness scan: the latest completion cycle of
+/// any register this operation touches (uses and defs), mirroring the
+/// AST engine's `visit_uses`/`visit_defs` walk.
+fn ready_time(op: &DOp, dec: &DecodedModule, frame: &DFrame) -> u64 {
+    let g = |i: u32| frame.gpr_ready[i as usize];
+    let f = |i: u32| frame.fpr_ready[i as usize];
+    match op {
+        DOp::LoadI { dst, .. } | DOp::LoadAddr { dst, .. } => g(*dst),
+        DOp::LoadF { dst, .. } => f(*dst),
+        DOp::TrapUnknownGlobal { dst, .. } => g(*dst),
+        DOp::IBin { lhs, rhs, dst, .. } | DOp::ICmp { lhs, rhs, dst, .. } => {
+            g(*lhs).max(g(*rhs)).max(g(*dst))
+        }
+        DOp::IBinI { lhs, dst, .. } => g(*lhs).max(g(*dst)),
+        DOp::FBin { lhs, rhs, dst, .. } => f(*lhs).max(f(*rhs)).max(f(*dst)),
+        DOp::FCmp { lhs, rhs, dst, .. } => f(*lhs).max(f(*rhs)).max(g(*dst)),
+        DOp::I2I { src, dst } => g(*src).max(g(*dst)),
+        DOp::F2F { src, dst } => f(*src).max(f(*dst)),
+        DOp::I2F { src, dst } => g(*src).max(f(*dst)),
+        DOp::F2I { src, dst } => f(*src).max(g(*dst)),
+        DOp::Load { addr, dst, .. } => g(*addr).max(g(*dst)),
+        DOp::FLoad { addr, dst, .. } => g(*addr).max(f(*dst)),
+        DOp::Store { val, addr, .. } => g(*val).max(g(*addr)),
+        DOp::FStore { val, addr, .. } => f(*val).max(g(*addr)),
+        DOp::CcmStore { val, .. } => g(*val),
+        DOp::CcmLoad { dst, .. } => g(*dst),
+        DOp::CcmFStore { val, .. } => f(*val),
+        DOp::CcmFLoad { dst, .. } => f(*dst),
+        DOp::Jump { .. } | DOp::TrapMissingTerminator | DOp::Nop => 0,
+        DOp::Cbr { cond, .. } => g(*cond),
+        DOp::Call { call } => {
+            let c = &dec.calls[*call as usize];
+            let mut t = 0u64;
+            for &(src, _) in c.gpr_args.iter() {
+                t = t.max(g(src));
+            }
+            for &(src, _) in c.fpr_args.iter() {
+                t = t.max(f(src));
+            }
+            for r in c.rets.iter() {
+                t = t.max(if r.gpr { g(r.idx) } else { f(r.idx) });
+            }
+            t
+        }
+        DOp::Ret { vals } => scan_list(&dec.reg_lists[*vals as usize], frame),
+        DOp::TrapUnknownFunction { regs, .. } | DOp::TrapPhi { regs } => {
+            scan_list(&dec.reg_lists[*regs as usize], frame)
+        }
+    }
+}
+
+fn scan_list(list: &[DReg], frame: &DFrame) -> u64 {
+    let mut t = 0u64;
+    for r in list {
+        t = t.max(if r.gpr {
+            frame.gpr_ready[r.idx as usize]
+        } else {
+            frame.fpr_ready[r.idx as usize]
+        });
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Engine, MachineConfig};
+    use crate::machine::run_module;
+    use iloc::builder::FuncBuilder;
+    use iloc::{Global, Instr};
+
+    fn engines() -> [MachineConfig; 2] {
+        [
+            MachineConfig {
+                engine: Engine::Ast,
+                ..MachineConfig::default()
+            },
+            MachineConfig {
+                engine: Engine::Decoded,
+                ..MachineConfig::default()
+            },
+        ]
+    }
+
+    /// Runs `m` under both engines and asserts identical observable
+    /// outcome (values bit-for-bit, full metrics, or identical trap).
+    fn assert_equivalent(m: &Module) {
+        let [ast, dec] = engines();
+        let a = run_module(m, ast, "main");
+        let d = run_module(m, dec, "main");
+        match (&a, &d) {
+            (Ok((va, ma)), Ok((vd, md))) => {
+                assert_eq!(va.ints, vd.ints);
+                let fa: Vec<u64> = va.floats.iter().map(|x| x.to_bits()).collect();
+                let fd: Vec<u64> = vd.floats.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(fa, fd, "float bits diverged");
+                assert_eq!(ma, md, "metrics diverged");
+            }
+            (Err(ea), Err(ed)) => assert_eq!(ea, ed, "traps diverged"),
+            _ => panic!("one engine trapped, the other returned: {a:?} vs {d:?}"),
+        }
+    }
+
+    #[test]
+    fn flat_layout_covers_all_blocks() {
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let acc = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 0, dst: acc });
+        fb.counted_loop(0, 4, 1, |fb, iv| {
+            let t = fb.add(acc, iv);
+            fb.emit(Op::I2I { src: t, dst: acc });
+        });
+        fb.ret(&[acc]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        let machine = Machine::new(&m, MachineConfig::default());
+        let dec = DecodedModule::decode(&m, &machine.globals);
+        // Every block contributes its instructions; branch targets are
+        // in range and the function is covered by one entry PC.
+        assert!(!dec.is_empty());
+        assert_eq!(dec.funcs.len(), 1);
+        assert_eq!(dec.funcs[0].entry_pc, 0);
+        for i in &dec.code {
+            match i.op {
+                DOp::Jump { target } => assert!((target as usize) < dec.len()),
+                DOp::Cbr {
+                    taken, not_taken, ..
+                } => {
+                    assert!((taken as usize) < dec.len());
+                    assert!((not_taken as usize) < dec.len());
+                }
+                _ => {}
+            }
+        }
+        assert_equivalent(&m);
+    }
+
+    #[test]
+    fn unknown_global_decodes_to_runtime_trap() {
+        let mut fb = FuncBuilder::new("main");
+        let d = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadSym {
+            sym: "nope".to_string(),
+            dst: d,
+        });
+        fb.ret(&[]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        // Both engines trap with the same structured error...
+        let [ast, dec] = engines();
+        let ea = run_module(&m, ast, "main").unwrap_err();
+        let ed = run_module(&m, dec, "main").unwrap_err();
+        assert_eq!(ea, SimError::UnknownGlobal("nope".to_string()));
+        assert_eq!(ea, ed);
+        assert_equivalent(&m);
+    }
+
+    #[test]
+    fn unknown_global_on_cold_path_does_not_trap() {
+        // The bad loadSym sits in a block that never executes: decoding
+        // must not fault eagerly (the AST engine wouldn't either).
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let one = fb.loadi(1);
+        let hot = fb.block("hot");
+        let cold = fb.block("cold");
+        fb.cbr(one, hot, cold);
+        fb.switch_to(cold);
+        let d = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadSym {
+            sym: "nope".to_string(),
+            dst: d,
+        });
+        fb.ret(&[d]);
+        fb.switch_to(hot);
+        let r = fb.loadi(7);
+        fb.ret(&[r]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        let [_, dec] = engines();
+        let (v, _) = run_module(&m, dec, "main").expect("cold trap must stay cold");
+        assert_eq!(v.ints, vec![7]);
+        assert_equivalent(&m);
+    }
+
+    #[test]
+    fn unknown_callee_traps_identically() {
+        let mut fb = FuncBuilder::new("main");
+        fb.call("ghost", &[], &[]);
+        fb.ret(&[]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        let [ast, dec] = engines();
+        let ea = run_module(&m, ast, "main").unwrap_err();
+        let ed = run_module(&m, dec, "main").unwrap_err();
+        assert_eq!(ea, SimError::UnknownFunction("ghost".to_string()));
+        assert_eq!(ea, ed);
+        assert_equivalent(&m);
+    }
+
+    #[test]
+    fn missing_terminator_traps_at_same_instruction_count() {
+        let mut f = iloc::Function::new("main");
+        let e = f.entry();
+        let v = f.new_vreg(RegClass::Gpr);
+        f.block_mut(e)
+            .instrs
+            .push(Instr::new(Op::LoadI { imm: 1, dst: v }));
+        // No terminator: both engines must fault after executing one
+        // real instruction.
+        let mut m = Module::new();
+        m.push_function(f);
+        let [ast, dec] = engines();
+        let mut ma = Machine::new(&m, ast);
+        let ea = ma.run("main").unwrap_err();
+        let ia = ma.metrics.instrs;
+        let mut md = Machine::new(&m, dec);
+        let ed = md.run("main").unwrap_err();
+        assert_eq!(ea, SimError::MissingTerminator);
+        assert_eq!(ea, ed);
+        assert_eq!(ia, md.metrics.instrs);
+        assert_eq!(ma.metrics.cycles, md.metrics.cycles);
+    }
+
+    #[test]
+    fn step_limit_fires_at_identical_instruction() {
+        let mut fb = FuncBuilder::new("main");
+        let spin = fb.block("spin");
+        fb.jump(spin);
+        fb.switch_to(spin);
+        fb.jump(spin);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        for max_steps in [1, 2, 17, 1000] {
+            let mk = |engine| MachineConfig {
+                max_steps,
+                engine,
+                ..MachineConfig::default()
+            };
+            let mut a = Machine::new(&m, mk(Engine::Ast));
+            let mut d = Machine::new(&m, mk(Engine::Decoded));
+            assert_eq!(a.run("main").unwrap_err(), SimError::StepLimit);
+            assert_eq!(d.run("main").unwrap_err(), SimError::StepLimit);
+            assert_eq!(a.metrics, d.metrics, "max_steps={max_steps}");
+        }
+    }
+
+    #[test]
+    fn calls_and_recursion_equivalent() {
+        let mut f = FuncBuilder::new("fact");
+        let n = f.param(RegClass::Gpr);
+        f.set_ret_classes(&[RegClass::Gpr]);
+        let one = f.loadi(1);
+        let c = f.icmp(CmpKind::Le, n, one);
+        let base = f.block("base");
+        let rec = f.block("rec");
+        f.cbr(c, base, rec);
+        f.switch_to(base);
+        let r1 = f.loadi(1);
+        f.ret(&[r1]);
+        f.switch_to(rec);
+        let nm1 = f.subi(n, 1);
+        let sub = f.call("fact", &[nm1], &[RegClass::Gpr]);
+        let r = f.mult(n, sub[0]);
+        f.ret(&[r]);
+        let mut main = FuncBuilder::new("main");
+        main.set_ret_classes(&[RegClass::Gpr]);
+        let five = main.loadi(7);
+        let rets = main.call("fact", &[five], &[RegClass::Gpr]);
+        main.ret(&[rets[0]]);
+        let mut m = Module::new();
+        m.push_function(f.finish());
+        m.push_function(main.finish());
+        assert_equivalent(&m);
+        let [_, dec] = engines();
+        let (v, _) = run_module(&m, dec, "main").unwrap();
+        assert_eq!(v.ints, vec![5040]);
+    }
+
+    #[test]
+    fn mixed_class_args_and_multi_rets_equivalent() {
+        let mut callee = FuncBuilder::new("mix");
+        let a = callee.param(RegClass::Gpr);
+        let x = callee.param(RegClass::Fpr);
+        let b = callee.param(RegClass::Gpr);
+        callee.set_ret_classes(&[RegClass::Fpr, RegClass::Gpr]);
+        let af = callee.i2f(a);
+        let s = callee.fadd(af, x);
+        let t = callee.add(a, b);
+        callee.ret(&[s, t]);
+        let mut main = FuncBuilder::new("main");
+        main.set_ret_classes(&[RegClass::Fpr, RegClass::Gpr]);
+        let i = main.loadi(3);
+        let j = main.loadi(4);
+        let w = main.loadf(0.5);
+        let rets = main.call("mix", &[i, w, j], &[RegClass::Fpr, RegClass::Gpr]);
+        main.ret(&[rets[0], rets[1]]);
+        let mut m = Module::new();
+        m.push_function(callee.finish());
+        m.push_function(main.finish());
+        assert_equivalent(&m);
+        let [_, dec] = engines();
+        let (v, _) = run_module(&m, dec, "main").unwrap();
+        assert_eq!(v.floats, vec![3.5]);
+        assert_eq!(v.ints, vec![7]);
+    }
+
+    #[test]
+    fn memory_ccm_and_globals_equivalent() {
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Fpr, RegClass::Gpr]);
+        let base = fb.loadsym("g");
+        let x = fb.loadf(2.25);
+        fb.fstoreai(x, base, 0);
+        fb.emit(Op::CcmFStore { val: x, off: 8 });
+        let a = fb.floadai(base, 0);
+        let b = fb.vreg(RegClass::Fpr);
+        fb.emit(Op::CcmFLoad { off: 8, dst: b });
+        let s = fb.fadd(a, b);
+        let i = fb.loadi(-3);
+        fb.storeai(i, base, 8);
+        let j = fb.loadai(base, 8);
+        fb.ret(&[s, j]);
+        let mut m = Module::new();
+        m.push_global(Global::from_f64s("g", &[0.0, 0.0]));
+        m.push_function(fb.finish());
+        assert_equivalent(&m);
+    }
+
+    #[test]
+    fn traps_equivalent_for_div_zero_mem_ccm_and_overflow() {
+        // divide by zero
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let a = fb.loadi(1);
+        let z = fb.loadi(0);
+        let q = fb.idiv(a, z);
+        fb.ret(&[q]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        assert_equivalent(&m);
+
+        // memory out of bounds
+        let mut fb = FuncBuilder::new("main");
+        let a = fb.loadi(-5);
+        let _ = fb.loadai(a, 0);
+        fb.ret(&[]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        assert_equivalent(&m);
+
+        // ccm out of bounds
+        let mut fb = FuncBuilder::new("main");
+        let a = fb.loadi(1);
+        fb.emit(Op::CcmStore {
+            val: a,
+            off: 4 << 20,
+        });
+        fb.ret(&[]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+        assert_equivalent(&m);
+    }
+
+    #[test]
+    fn pipelined_model_equivalent() {
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let base = fb.loadsym("g");
+        let l = fb.loadai(base, 0);
+        let r = fb.addi(l, 1);
+        let l2 = fb.loadai(base, 4);
+        let s = fb.add(r, l2);
+        fb.ret(&[s]);
+        let mut m = Module::new();
+        m.push_global(Global::zeroed("g", 8));
+        m.push_function(fb.finish());
+        for delay in [1, 3, 7] {
+            let mk = |engine| MachineConfig {
+                load_delay: Some(delay),
+                engine,
+                ..MachineConfig::default()
+            };
+            let (va, ma) = run_module(&m, mk(Engine::Ast), "main").unwrap();
+            let (vd, md) = run_module(&m, mk(Engine::Decoded), "main").unwrap();
+            assert_eq!(va, vd);
+            assert_eq!(ma, md, "delay={delay}");
+            assert!(ma.stall_cycles > 0, "test must exercise stalls");
+        }
+    }
+
+    #[test]
+    fn cache_model_equivalent() {
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let base = fb.loadsym("g");
+        let a = fb.loadai(base, 0);
+        let b = fb.loadai(base, 0);
+        let c = fb.loadai(base, 256);
+        let s1 = fb.add(a, b);
+        let s = fb.add(s1, c);
+        fb.ret(&[s]);
+        let mut m = Module::new();
+        m.push_global(Global::zeroed("g", 512));
+        m.push_function(fb.finish());
+        let mk = |engine| MachineConfig {
+            cache: Some(crate::cache::CacheConfig::small_direct_mapped()),
+            engine,
+            ..MachineConfig::default()
+        };
+        let (_, ma) = run_module(&m, mk(Engine::Ast), "main").unwrap();
+        let (_, md) = run_module(&m, mk(Engine::Decoded), "main").unwrap();
+        assert_eq!(ma, md);
+        assert!(ma.cache.misses > 0);
+    }
+
+    #[test]
+    fn decoded_machine_reruns_are_independent() {
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let base = fb.loadsym("g");
+        let old = fb.loadai(base, 0);
+        let v = fb.loadi(41);
+        let v1 = fb.addi(v, 1);
+        fb.storeai(v1, base, 0);
+        let now = fb.loadai(base, 0);
+        let s = fb.add(old, now);
+        fb.ret(&[s]);
+        let mut m = Module::new();
+        m.push_global(Global::zeroed("g", 8));
+        m.push_function(fb.finish());
+        let mut machine = Machine::new(&m, MachineConfig::default());
+        let r1 = machine.run("main").unwrap();
+        let c1 = machine.metrics.cycles;
+        // `old` must read 0 again on the second run: the dirty-range
+        // reset re-zeroes exactly what the first run wrote.
+        let r2 = machine.run("main").unwrap();
+        assert_eq!(r1.ints, vec![42]);
+        assert_eq!(r1, r2);
+        assert_eq!(c1, machine.metrics.cycles);
+    }
+
+    #[test]
+    fn phi_trap_equivalent() {
+        let mut f = iloc::Function::new("main");
+        let e = f.entry();
+        let d = f.new_vreg(RegClass::Gpr);
+        f.block_mut(e).instrs.push(Instr::new(Op::Phi {
+            dst: d,
+            args: vec![],
+        }));
+        f.block_mut(e)
+            .instrs
+            .push(Instr::new(Op::Ret { vals: vec![] }));
+        let mut m = Module::new();
+        m.push_function(f);
+        assert_equivalent(&m);
+    }
+
+    #[test]
+    fn segment_table_is_consistent() {
+        // Build something with branches, calls, and memory ops, then
+        // check the per-PC suffix invariants the fast path relies on.
+        let mut callee = FuncBuilder::new("leaf");
+        callee.set_ret_classes(&[RegClass::Gpr]);
+        let v = callee.loadi(3);
+        callee.ret(&[v]);
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let acc = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 0, dst: acc });
+        fb.counted_loop(0, 5, 1, |fb, iv| {
+            let c = fb.call("leaf", &[], &[RegClass::Gpr]);
+            let t = fb.add(acc, c[0]);
+            let t2 = fb.add(t, iv);
+            fb.emit(Op::I2I { src: t2, dst: acc });
+        });
+        fb.ret(&[acc]);
+        let mut m = Module::new();
+        m.push_function(callee.finish());
+        m.push_function(fb.finish());
+        let machine = Machine::new(&m, MachineConfig::default());
+        let dec = DecodedModule::decode(&m, &machine.globals);
+
+        assert_eq!(dec.segs.len(), dec.code.len());
+        let mut saw_multi = false;
+        for (pc, instr) in dec.code.iter().enumerate() {
+            let s = dec.segs[pc];
+            if ends_segment(&instr.op) {
+                // A segment ender is a one-instruction segment.
+                assert_eq!(s.len, 1, "pc {pc}");
+                assert_eq!(s.cycles, fixed_cycles(&instr.op), "pc {pc}");
+            } else {
+                // A fall-through extends the suffix that follows it.
+                let next = dec.segs[pc + 1];
+                assert_eq!(s.len, next.len + 1, "pc {pc}");
+                assert_eq!(s.cycles, next.cycles + fixed_cycles(&instr.op), "pc {pc}");
+                saw_multi = true;
+            }
+        }
+        assert!(saw_multi, "module must contain straight-line stretches");
+        assert_equivalent(&m);
+    }
+
+    #[test]
+    fn batched_and_precise_paths_agree_on_metrics() {
+        // The same module run far from the step limit (batched fast
+        // path) and stepped right at it (precise path) must report the
+        // same totals on success: pick max_steps exactly equal to the
+        // dynamic instruction count so every segment near the end runs
+        // precise, then compare against an unconstrained run.
+        let mut fb = FuncBuilder::new("main");
+        fb.set_ret_classes(&[RegClass::Gpr]);
+        let acc = fb.vreg(RegClass::Gpr);
+        fb.emit(Op::LoadI { imm: 0, dst: acc });
+        fb.counted_loop(0, 9, 1, |fb, iv| {
+            let t = fb.add(acc, iv);
+            fb.emit(Op::I2I { src: t, dst: acc });
+        });
+        fb.ret(&[acc]);
+        let mut m = Module::new();
+        m.push_function(fb.finish());
+
+        let fast = MachineConfig {
+            engine: Engine::Decoded,
+            ..MachineConfig::default()
+        };
+        let (v1, m1) = run_module(&m, fast.clone(), "main").expect("fast run succeeds");
+        let tight = MachineConfig {
+            max_steps: m1.instrs,
+            ..fast
+        };
+        let (v2, m2) = run_module(&m, tight, "main").expect("exact budget still succeeds");
+        assert_eq!(v1, v2);
+        assert_eq!(m1, m2, "fast and precise accounting diverged");
+    }
+}

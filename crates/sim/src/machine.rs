@@ -15,7 +15,8 @@ use std::fmt;
 use iloc::{BlockId, FBinKind, Function, IBinKind, Module, Op, Reg, RegClass, SpillKind};
 
 use crate::cache::Cache;
-use crate::config::MachineConfig;
+use crate::config::{Engine, MachineConfig};
+use crate::decode::DecodedModule;
 use crate::metrics::Metrics;
 
 /// A simulator trap.
@@ -78,7 +79,7 @@ pub struct RetValues {
     pub floats: Vec<f64>,
 }
 
-struct Frame {
+struct Frame<'m> {
     func: usize,
     block: usize,
     idx: usize,
@@ -88,23 +89,32 @@ struct Frame {
     /// model only; empty otherwise).
     gpr_ready: Vec<u64>,
     fpr_ready: Vec<u64>,
-    ret_dsts: Vec<Reg>,
+    /// Caller registers receiving this activation's return values —
+    /// borrowed from the caller's `Op::Call`, never cloned.
+    ret_dsts: &'m [Reg],
     saved_sp: i64,
 }
 
 /// The machine: memory, CCM, and execution state.
 pub struct Machine<'m> {
-    module: &'m Module,
-    cfg: MachineConfig,
-    mem: Vec<u8>,
-    ccm: Vec<u8>,
-    globals: HashMap<String, i64>,
-    globals_end: i64,
-    cache: Option<Cache>,
+    pub(crate) module: &'m Module,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) ccm: Vec<u8>,
+    pub(crate) globals: HashMap<String, i64>,
+    pub(crate) globals_end: i64,
+    pub(crate) cache: Option<Cache>,
     /// Execution counters, reset by [`Machine::run`].
     pub metrics: Metrics,
     /// Per-function (max gpr index, max fpr index).
     reg_limits: Vec<(u32, u32)>,
+    /// Lazily built flat-PC lowering used by [`Engine::Decoded`].
+    decoded: Option<DecodedModule>,
+    /// Dirty main-memory watermarks: the byte range `[dirty_lo,
+    /// dirty_hi)` written by stores since the last reset. [`Machine::run`]
+    /// clears only this range instead of re-zeroing all of `mem`.
+    pub(crate) dirty_lo: usize,
+    pub(crate) dirty_hi: usize,
 }
 
 impl<'m> Machine<'m> {
@@ -134,16 +144,20 @@ impl<'m> Machine<'m> {
             })
             .collect();
         let cache = cfg.cache.clone().map(Cache::new);
+        let ccm = vec![0u8; cfg.ccm_size as usize];
         Machine {
             module,
             cfg,
             mem,
-            ccm: Vec::new(),
+            ccm,
             globals,
             globals_end: next,
             cache,
             metrics: Metrics::default(),
             reg_limits,
+            decoded: None,
+            dirty_lo: usize::MAX,
+            dirty_hi: 0,
         }
     }
 
@@ -159,6 +173,13 @@ impl<'m> Machine<'m> {
             .get(name)
             .copied()
             .ok_or_else(|| SimError::UnknownGlobal(name.to_string()))
+    }
+
+    /// The global symbol table this machine laid out: symbol → base
+    /// address. This is the layout [`DecodedModule::decode`] bakes
+    /// `loadSym` addresses from.
+    pub fn globals_map(&self) -> &HashMap<String, i64> {
+        &self.globals
     }
 
     /// Raw bytes of global `name` (after execution, reflects stores).
@@ -184,30 +205,65 @@ impl<'m> Machine<'m> {
 
     /// Runs `entry` (which must take no parameters) to completion.
     ///
+    /// Dispatches on [`MachineConfig::engine`]. The decoded engine
+    /// lowers the module once (cached across runs) and executes the
+    /// flat-PC form; the AST engine interprets the module directly. Both
+    /// are observationally identical: same return values, same
+    /// [`Metrics`], same [`SimError`] on every trap.
+    ///
     /// # Errors
     ///
     /// Returns a [`SimError`] on any trap; see the enum for conditions.
     pub fn run(&mut self, entry: &str) -> Result<RetValues, SimError> {
-        self.metrics = Metrics::default();
-        self.ccm = vec![0u8; self.cfg.ccm_size as usize];
-        // Re-initialize main memory so repeated runs are independent.
-        self.mem.fill(0);
-        for g in &self.module.globals {
-            let base = self.globals[&g.name] as usize;
-            self.mem[base..base + g.init.len()].copy_from_slice(&g.init);
-        }
-
+        self.reset_run();
         if inject::faultpoint!("sim.unknown_global") {
             return Err(SimError::UnknownGlobal("__injected__".to_string()));
         }
+        match self.cfg.engine {
+            Engine::Ast => self.run_ast(entry),
+            Engine::Decoded => {
+                // Decode once, reuse across runs; take/restore avoids
+                // borrowing `self` while the loop mutates it.
+                let dec = match self.decoded.take() {
+                    Some(d) => d,
+                    None => DecodedModule::decode(self.module, &self.globals),
+                };
+                let r = self.exec_decoded(&dec, entry);
+                self.decoded = Some(dec);
+                r
+            }
+        }
+    }
+
+    /// Per-run reset: metrics, the CCM, and only the *dirty* range of
+    /// main memory (tracked by the store helpers), then re-initialized
+    /// globals — repeated runs stay independent without an O(mem_size)
+    /// clear or a CCM reallocation.
+    fn reset_run(&mut self) {
+        self.metrics = Metrics::default();
+        self.ccm.fill(0);
+        if self.dirty_hi > self.dirty_lo {
+            self.mem[self.dirty_lo..self.dirty_hi].fill(0);
+        }
+        self.dirty_lo = usize::MAX;
+        self.dirty_hi = 0;
+        let module = self.module;
+        for g in &module.globals {
+            let base = self.globals[&g.name] as usize;
+            self.mem[base..base + g.init.len()].copy_from_slice(&g.init);
+        }
+    }
+
+    /// The tree-walking reference interpreter ([`Engine::Ast`]).
+    fn run_ast(&mut self, entry: &str) -> Result<RetValues, SimError> {
         let findex = self.module.function_indices();
         let entry_idx = *findex
             .get(entry)
             .ok_or_else(|| SimError::UnknownFunction(entry.to_string()))?;
 
         let mut sp: i64 = self.cfg.mem_size as i64;
-        let mut frames: Vec<Frame> = Vec::new();
-        let first = self.new_frame(entry_idx, &mut sp, Vec::new())?;
+        let mut frames: Vec<Frame<'m>> = Vec::new();
+        let first = self.new_frame(entry_idx, &mut sp, &[])?;
         frames.push(first);
 
         loop {
@@ -498,8 +554,7 @@ impl<'m> Machine<'m> {
                             RegClass::Fpr => float_args.push(frame.fpr[a.index() as usize]),
                         }
                     }
-                    let ret_dsts = rets.clone();
-                    let mut new = self.new_frame(callee_idx, &mut sp, ret_dsts)?;
+                    let mut new = self.new_frame(callee_idx, &mut sp, rets)?;
                     // Bind arguments to the callee's parameter registers.
                     let callee_f = &self.module.functions[callee_idx];
                     let (mut ii, mut fi) = (0, 0);
@@ -521,10 +576,8 @@ impl<'m> Machine<'m> {
                     self.metrics.cycles += 1;
                     let frame = frames.pop().expect("current frame");
                     sp = frame.saved_sp;
-                    let func = &self.module.functions[frame.func];
-                    let _ = func;
                     if let Some(caller) = frames.last_mut() {
-                        for (v, dst) in vals.iter().zip(&frame.ret_dsts) {
+                        for (v, dst) in vals.iter().zip(frame.ret_dsts) {
                             match v.class() {
                                 RegClass::Gpr => {
                                     caller.gpr[dst.index() as usize] = frame.gpr[v.index() as usize]
@@ -562,8 +615,8 @@ impl<'m> Machine<'m> {
         &self,
         func_idx: usize,
         sp: &mut i64,
-        ret_dsts: Vec<Reg>,
-    ) -> Result<Frame, SimError> {
+        ret_dsts: &'m [Reg],
+    ) -> Result<Frame<'m>, SimError> {
         let f: &Function = &self.module.functions[func_idx];
         let size = f.frame.frame_size() as i64;
         let saved_sp = *sp;
@@ -594,7 +647,7 @@ impl<'m> Machine<'m> {
         })
     }
 
-    fn mem_access(&mut self, addr: i64, is_store: bool) -> u64 {
+    pub(crate) fn mem_access(&mut self, addr: i64, is_store: bool) -> u64 {
         match &mut self.cache {
             Some(c) => c.access(addr as u64, is_store),
             None => self.cfg.mem_latency,
@@ -609,7 +662,7 @@ impl<'m> Machine<'m> {
         }
     }
 
-    fn ccm_check(&self, off: u32, size: u32) -> Result<(), SimError> {
+    pub(crate) fn ccm_check(&self, off: u32, size: u32) -> Result<(), SimError> {
         if off + size > self.cfg.ccm_size {
             Err(SimError::CcmOutOfBounds {
                 off,
@@ -620,29 +673,33 @@ impl<'m> Machine<'m> {
         }
     }
 
-    fn read_i32(&self, addr: i64) -> Result<i32, SimError> {
+    pub(crate) fn read_i32(&self, addr: i64) -> Result<i32, SimError> {
         let a = self.check_addr(addr, 4)?;
         Ok(i32::from_le_bytes(
             self.mem[a..a + 4].try_into().expect("4 bytes"),
         ))
     }
 
-    fn write_i32(&mut self, addr: i64, v: i32) -> Result<(), SimError> {
+    pub(crate) fn write_i32(&mut self, addr: i64, v: i32) -> Result<(), SimError> {
         let a = self.check_addr(addr, 4)?;
         self.mem[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        self.dirty_lo = self.dirty_lo.min(a);
+        self.dirty_hi = self.dirty_hi.max(a + 4);
         Ok(())
     }
 
-    fn read_f64(&self, addr: i64) -> Result<f64, SimError> {
+    pub(crate) fn read_f64(&self, addr: i64) -> Result<f64, SimError> {
         let a = self.check_addr(addr, 8)?;
         Ok(f64::from_le_bytes(
             self.mem[a..a + 8].try_into().expect("8 bytes"),
         ))
     }
 
-    fn write_f64(&mut self, addr: i64, v: f64) -> Result<(), SimError> {
+    pub(crate) fn write_f64(&mut self, addr: i64, v: f64) -> Result<(), SimError> {
         let a = self.check_addr(addr, 8)?;
         self.mem[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        self.dirty_lo = self.dirty_lo.min(a);
+        self.dirty_hi = self.dirty_hi.max(a + 8);
         Ok(())
     }
 }
@@ -651,7 +708,7 @@ impl<'m> Machine<'m> {
 /// 32-bit signed values (Fortran `INTEGER`), kept sign-extended in the
 /// interpreter's 64-bit register file. Every result wraps to 32 bits, so
 /// a value spilled through a 4-byte slot reloads bit-identically.
-fn ibin(kind: IBinKind, a: i64, b: i64) -> Result<i64, SimError> {
+pub(crate) fn ibin(kind: IBinKind, a: i64, b: i64) -> Result<i64, SimError> {
     let (a, b) = (a as i32, b as i32);
     let r: i32 = match kind {
         IBinKind::Add => a.wrapping_add(b),
@@ -678,7 +735,7 @@ fn ibin(kind: IBinKind, a: i64, b: i64) -> Result<i64, SimError> {
     Ok(r as i64)
 }
 
-fn cmp(kind: iloc::CmpKind, a: &i64, b: &i64) -> i64 {
+pub(crate) fn cmp(kind: iloc::CmpKind, a: &i64, b: &i64) -> i64 {
     use iloc::CmpKind::*;
     (match kind {
         Lt => a < b,
@@ -690,7 +747,7 @@ fn cmp(kind: iloc::CmpKind, a: &i64, b: &i64) -> i64 {
     }) as i64
 }
 
-fn fcmp(kind: iloc::CmpKind, a: f64, b: f64) -> i64 {
+pub(crate) fn fcmp(kind: iloc::CmpKind, a: f64, b: f64) -> i64 {
     use iloc::CmpKind::*;
     (match kind {
         Lt => a < b,

@@ -1,0 +1,152 @@
+//! The decoded engine's equivalence contract, enforced end to end.
+//!
+//! `sim` ships two execution engines — the tree-walking AST reference
+//! interpreter and the pre-decoded flat-PC engine — that must be
+//! observationally identical: same `RetValues` (floats bit-for-bit),
+//! same full `Metrics` (cycles, stalls, spill counts, memory traffic,
+//! cache statistics), and the same `SimError` on every trap, at the
+//! same instruction count. This suite drives that contract over the
+//! three code populations we have: the checked-in fuzz corpus, the
+//! hand-written kernel suite, and a seeded 128-case fuzz batch run
+//! through the dual-engine oracle.
+
+use regalloc::AllocConfig;
+use sim::{Engine, MachineConfig, Metrics, RetValues, SimError};
+
+fn corpus_entries() -> Vec<std::path::PathBuf> {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "iloc"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    entries
+}
+
+type EngineOutcome = Result<(RetValues, Metrics), SimError>;
+
+/// Runs `m` under one engine with everything else held equal.
+fn run_engine(m: &iloc::Module, engine: Engine, ccm: u32) -> EngineOutcome {
+    let cfg = MachineConfig {
+        engine,
+        ..MachineConfig::with_ccm(ccm)
+    };
+    sim::run_module(m, cfg, "main")
+}
+
+/// Asserts the two engines agree on `m`, with `what` naming the module
+/// in failure output.
+fn assert_engines_agree(m: &iloc::Module, ccm: u32, what: &str) {
+    let ast = run_engine(m, Engine::Ast, ccm);
+    let dec = run_engine(m, Engine::Decoded, ccm);
+    match (&ast, &dec) {
+        (Ok((va, ma)), Ok((vd, md))) => {
+            assert_eq!(va.ints, vd.ints, "{what}: integer returns diverged");
+            let bits = |v: &RetValues| v.floats.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(va), bits(vd), "{what}: float bits diverged");
+            assert_eq!(ma, md, "{what}: metrics diverged");
+        }
+        (Err(ea), Err(ed)) => assert_eq!(ea, ed, "{what}: traps diverged"),
+        _ => panic!(
+            "{what}: one engine trapped, the other returned:\nast: {ast:?}\ndecoded: {dec:?}"
+        ),
+    }
+}
+
+/// Every corpus reproducer, replayed through both engines raw and after
+/// each allocation variant — the population of modules that already
+/// broke the pipeline once is exactly the population most likely to
+/// break a new engine.
+#[test]
+fn corpus_is_engine_equivalent() {
+    for path in corpus_entries() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let m = iloc::parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        m.verify()
+            .unwrap_or_else(|e| panic!("{}: verify failed: {e:?}", path.display()));
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        assert_engines_agree(&m, 1024, &format!("{name} (raw)"));
+        for variant in fuzz::Variant::ALL {
+            for ccm in [16, 256, 1024] {
+                let mut mm = m.clone();
+                fuzz::oracle::allocate(&mut mm, variant, ccm, &AllocConfig::tiny(3));
+                let what = format!("{name} ({} @ {ccm})", variant.label());
+                assert_engines_agree(&mm, ccm, &what);
+            }
+        }
+    }
+}
+
+/// Every suite kernel, fully compiled (optimize → allocate → promote),
+/// agrees across engines — the code population the paper's numbers
+/// come from.
+#[test]
+fn kernel_suite_is_engine_equivalent() {
+    for k in suite::kernels() {
+        let mut m = suite::build_optimized(&k);
+        harness::allocate_variant(&mut m, harness::Variant::PostPassCallGraph, 512);
+        assert_engines_agree(&m, 512, k.name);
+    }
+}
+
+/// The satellite gate: a seeded 128-case fuzz batch through the
+/// dual-engine oracle. Every generated module runs every variant at
+/// every CCM size under BOTH engines; any divergence in values,
+/// metrics, or trap is an `engine-mismatch` failure.
+#[test]
+fn fuzz_batch_128_is_engine_equivalent() {
+    let cfg = fuzz::OracleConfig {
+        dual_engine: true,
+        ..fuzz::OracleConfig::default()
+    };
+    let results = fuzz::campaign(128, 0xCC_0123, exec::default_jobs(), &cfg);
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|r| {
+            r.outcome.as_ref().err().map(|f| {
+                format!(
+                    "case {} (seed {:#x}): {} {}: {}",
+                    r.index,
+                    r.seed,
+                    f.failure.kind.label(),
+                    f.failure.variant.label(),
+                    f.failure.detail
+                )
+            })
+        })
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} of 128 dual-engine cases failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The decoded engine must not reject at decode time what the AST
+/// engine only rejects at run time: an undeclared global surfaces the
+/// identical `SimError::UnknownGlobal` from both engines, and only when
+/// executed.
+#[test]
+fn unknown_global_trap_is_identical_across_engines() {
+    use iloc::builder::FuncBuilder;
+    use iloc::{Op, RegClass};
+
+    let mut fb = FuncBuilder::new("main");
+    let d = fb.vreg(RegClass::Gpr);
+    fb.emit(Op::LoadSym {
+        sym: "undeclared".to_string(),
+        dst: d,
+    });
+    fb.ret(&[]);
+    let mut m = iloc::Module::new();
+    m.push_function(fb.finish());
+
+    let ast = run_engine(&m, Engine::Ast, 1024).unwrap_err();
+    let dec = run_engine(&m, Engine::Decoded, 1024).unwrap_err();
+    assert_eq!(ast, SimError::UnknownGlobal("undeclared".to_string()));
+    assert_eq!(ast, dec);
+}

@@ -103,8 +103,8 @@ fn fuzz_campaign_survives_injected_allocator_panic() {
     let cfg = fuzz::OracleConfig {
         ccm_sizes: vec![64],
         variants: vec![fuzz::Variant::PostPass],
-        mutation: None,
         alloc: regalloc::AllocConfig::tiny(3),
+        ..Default::default()
     };
     inject::arm("alloc.panic").expect("registered point");
     let results = fuzz::campaign(2, 7, 2, &cfg);
